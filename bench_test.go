@@ -1,0 +1,256 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at reduced scale (go test -bench=.). Each benchmark runs
+// whole simulated experiments per iteration and reports the headline
+// metric of its table/figure as a custom unit, so the *shape* of the
+// paper's results — who wins, by roughly what factor — is visible
+// straight from the bench output. cmd/escort-bench runs the paper-scale
+// versions.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+func benchScale() experiment.Scale {
+	return experiment.Scale{
+		Warm:    sim.CyclesPerSecond / 2,
+		Window:  sim.CyclesPerSecond,
+		Clients: []int{16},
+		CGICnts: []int{10},
+	}
+}
+
+// benchRate builds a testbed, applies load, and reports conn/s.
+func benchRate(b *testing.B, cfg experiment.Config, doc experiment.DocSpec, clients int) {
+	b.Helper()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		tb, err := experiment.NewTestbed(cfg, experiment.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.AddClients(clients, doc.Name)
+		rate = tb.MeasureRate(benchScale().Warm, benchScale().Window)
+		tb.Close()
+	}
+	b.ReportMetric(rate, "conn/s")
+}
+
+// Figure 8: one benchmark per configuration and document size.
+
+func BenchmarkFig8Scout1B(b *testing.B) {
+	benchRate(b, experiment.ConfigScout, experiment.Doc1B, 16)
+}
+
+func BenchmarkFig8Accounting1B(b *testing.B) {
+	benchRate(b, experiment.ConfigAccounting, experiment.Doc1B, 16)
+}
+
+func BenchmarkFig8AccountingPD1B(b *testing.B) {
+	benchRate(b, experiment.ConfigAccountingPD, experiment.Doc1B, 16)
+}
+
+func BenchmarkFig8Linux1B(b *testing.B) {
+	benchRate(b, experiment.ConfigLinux, experiment.Doc1B, 16)
+}
+
+func BenchmarkFig8Scout1K(b *testing.B) {
+	benchRate(b, experiment.ConfigScout, experiment.Doc1K, 16)
+}
+
+func BenchmarkFig8Accounting1K(b *testing.B) {
+	benchRate(b, experiment.ConfigAccounting, experiment.Doc1K, 16)
+}
+
+func BenchmarkFig8AccountingPD1K(b *testing.B) {
+	benchRate(b, experiment.ConfigAccountingPD, experiment.Doc1K, 16)
+}
+
+func BenchmarkFig8Linux1K(b *testing.B) {
+	benchRate(b, experiment.ConfigLinux, experiment.Doc1K, 16)
+}
+
+func BenchmarkFig8Scout10K(b *testing.B) {
+	benchRate(b, experiment.ConfigScout, experiment.Doc10K, 16)
+}
+
+func BenchmarkFig8Accounting10K(b *testing.B) {
+	benchRate(b, experiment.ConfigAccounting, experiment.Doc10K, 16)
+}
+
+func BenchmarkFig8AccountingPD10K(b *testing.B) {
+	benchRate(b, experiment.ConfigAccountingPD, experiment.Doc10K, 16)
+}
+
+func BenchmarkFig8Linux10K(b *testing.B) {
+	benchRate(b, experiment.ConfigLinux, experiment.Doc10K, 16)
+}
+
+// Table 1: accounting accuracy — reports cycles/request and the
+// accounted fraction (must be 1.0).
+
+func benchTable1(b *testing.B, cfg experiment.Config) {
+	b.Helper()
+	var perReq, accounted float64
+	for i := 0; i < b.N; i++ {
+		tab, err := experiment.RunTable1(cfg, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perReq = float64(tab.TotalMeasured)
+		accounted = float64(tab.Accounted) / float64(tab.TotalMeasured)
+	}
+	b.ReportMetric(perReq, "cycles/req")
+	b.ReportMetric(accounted, "accounted-frac")
+}
+
+func BenchmarkTable1Accounting(b *testing.B) {
+	benchTable1(b, experiment.ConfigAccounting)
+}
+
+func BenchmarkTable1AccountingPD(b *testing.B) {
+	benchTable1(b, experiment.ConfigAccountingPD)
+}
+
+// Table 2: pathKill cost per configuration.
+
+func BenchmarkTable2Kill(b *testing.B) {
+	var acct, pd, linux float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Config {
+			case experiment.ConfigAccounting:
+				acct = float64(r.Cycles)
+			case experiment.ConfigAccountingPD:
+				pd = float64(r.Cycles)
+			case experiment.ConfigLinux:
+				linux = float64(r.Cycles)
+			}
+		}
+	}
+	b.ReportMetric(acct, "acct-cycles")
+	b.ReportMetric(pd, "pd-cycles")
+	b.ReportMetric(linux, "linux-cycles")
+}
+
+// Figure 9: SYN-attack slowdown.
+
+func benchFig9(b *testing.B, cfg experiment.Config) {
+	b.Helper()
+	var slow float64
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		measure := func(attack bool) float64 {
+			tb, err := experiment.NewTestbed(cfg, experiment.Options{SynCapUntrusted: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tb.Close()
+			tb.AddClients(16, experiment.Doc1B.Name)
+			if attack {
+				tb.AddSynAttacker(1000)
+			}
+			return tb.MeasureRate(sc.Warm, sc.Window)
+		}
+		base := measure(false)
+		loaded := measure(true)
+		slow = 100 * (base - loaded) / base
+	}
+	b.ReportMetric(slow, "slowdown-%")
+}
+
+func BenchmarkFig9SynAttackAccounting(b *testing.B) {
+	benchFig9(b, experiment.ConfigAccounting)
+}
+
+func BenchmarkFig9SynAttackAccountingPD(b *testing.B) {
+	benchFig9(b, experiment.ConfigAccountingPD)
+}
+
+// Figure 10: QoS stream fidelity and best-effort cost.
+
+func benchFig10(b *testing.B, cfg experiment.Config) {
+	b.Helper()
+	var qosErr, slow float64
+	sc := benchScale()
+	window := 2 * sim.CyclesPerSecond
+	for i := 0; i < b.N; i++ {
+		measure := func(stream bool) (float64, float64) {
+			tb, err := experiment.NewTestbed(cfg, experiment.Options{QoSRateBps: experiment.QoSTarget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tb.Close()
+			tb.AddClients(16, experiment.Doc1B.Name)
+			if stream {
+				tb.AddQoSReceiver()
+			}
+			rate := tb.MeasureRate(sc.Warm, window)
+			if !stream {
+				return rate, 0
+			}
+			return rate, tb.QoS.RateBps(window)
+		}
+		base, _ := measure(false)
+		loaded, qos := measure(true)
+		slow = 100 * (base - loaded) / base
+		qosErr = 100 * (qos - experiment.QoSTarget) / experiment.QoSTarget
+		if qosErr < 0 {
+			qosErr = -qosErr
+		}
+	}
+	b.ReportMetric(slow, "best-effort-slowdown-%")
+	b.ReportMetric(qosErr, "qos-err-%")
+}
+
+func BenchmarkFig10QoSAccounting(b *testing.B) {
+	benchFig10(b, experiment.ConfigAccounting)
+}
+
+func BenchmarkFig10QoSAccountingPD(b *testing.B) {
+	benchFig10(b, experiment.ConfigAccountingPD)
+}
+
+// Figure 11: CGI attack degradation with containment.
+
+func benchFig11(b *testing.B, cfg experiment.Config) {
+	b.Helper()
+	var slow, kills float64
+	sc := benchScale()
+	window := 3 * sim.CyclesPerSecond
+	for i := 0; i < b.N; i++ {
+		measure := func(attackers int) (float64, uint64) {
+			tb, err := experiment.NewTestbed(cfg, experiment.Options{QoSRateBps: experiment.QoSTarget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tb.Close()
+			tb.AddClients(16, experiment.Doc1B.Name)
+			tb.AddQoSReceiver()
+			tb.AddCGIAttackers(attackers)
+			rate := tb.MeasureRate(sc.Warm, window)
+			return rate, tb.Escort.Contain.Kills
+		}
+		base, _ := measure(0)
+		loaded, k := measure(10)
+		slow = 100 * (base - loaded) / base
+		kills = float64(k)
+	}
+	b.ReportMetric(slow, "slowdown-%")
+	b.ReportMetric(kills, "kills")
+}
+
+func BenchmarkFig11CGIAccounting(b *testing.B) {
+	benchFig11(b, experiment.ConfigAccounting)
+}
+
+func BenchmarkFig11CGIAccountingPD(b *testing.B) {
+	benchFig11(b, experiment.ConfigAccountingPD)
+}

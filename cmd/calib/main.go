@@ -1,0 +1,32 @@
+// Command calib probes the calibrated throughput of every configuration
+// across document sizes and client counts — the tool used to fit the
+// cost model (internal/cost) to the paper's Figure 8 anchors. Run it
+// after changing cost-model constants to see where the curves land.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+func rate(cfg experiment.Config, doc experiment.DocSpec, clients int) float64 {
+	tb, err := experiment.NewTestbed(cfg, experiment.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer tb.Close()
+	tb.AddClients(clients, doc.Name)
+	return tb.MeasureRate(2*sim.CyclesPerSecond, 5*sim.CyclesPerSecond)
+}
+
+func main() {
+	for _, doc := range []experiment.DocSpec{experiment.Doc1B, experiment.Doc1K, experiment.Doc10K} {
+		for _, cfg := range experiment.AllConfigs {
+			for _, n := range []int{1, 4, 16, 32} {
+				fmt.Printf("%-14s %-8s n=%-3d %8.1f c/s\n", cfg, doc.Label, n, rate(cfg, doc, n))
+			}
+		}
+	}
+}

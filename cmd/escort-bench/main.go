@@ -1,0 +1,111 @@
+// Command escort-bench regenerates the tables and figures of the
+// paper's evaluation (§4). Each experiment builds the Figure 7 testbed
+// in a deterministic simulation and prints the same rows/series the
+// paper reports.
+//
+// Usage:
+//
+//	escort-bench -exp fig8|table1|table2|fig9|fig10|fig11|all [-scale quick|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig8, table1, table2, fig9, fig10, fig11, all")
+	scaleName := flag.String("scale", "paper", "sweep scale: quick or paper")
+	flag.Parse()
+
+	var sc experiment.Scale
+	switch *scaleName {
+	case "paper":
+		sc = experiment.PaperScale()
+	case "quick":
+		sc = experiment.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
+	}
+
+	allDocs := []experiment.DocSpec{experiment.Doc1B, experiment.Doc1K, experiment.Doc10K}
+	fig9Docs := []experiment.DocSpec{experiment.Doc1B, experiment.Doc10K}
+
+	run("fig8", func() error {
+		rows, err := experiment.Fig8(sc, allDocs, experiment.AllConfigs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.FormatFig8(rows))
+		return nil
+	})
+
+	run("table1", func() error {
+		for _, cfg := range []experiment.Config{experiment.ConfigAccounting, experiment.ConfigAccountingPD} {
+			tab, err := experiment.RunTable1(cfg, 100)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab.Format())
+		}
+		return nil
+	})
+
+	run("table2", func() error {
+		rows, err := experiment.RunTable2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.FormatTable2(rows))
+		return nil
+	})
+
+	run("fig9", func() error {
+		rows, err := experiment.Fig9(sc, fig9Docs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.FormatFig9(rows))
+		return nil
+	})
+
+	run("fig10", func() error {
+		rows, err := experiment.Fig10(sc, fig9Docs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.FormatFig10(rows))
+		return nil
+	})
+
+	run("fig11", func() error {
+		clients := 64
+		if *scaleName == "quick" {
+			clients = 16
+		}
+		rows, err := experiment.Fig11(sc, fig9Docs, clients)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.FormatFig11(rows, clients))
+		return nil
+	})
+}

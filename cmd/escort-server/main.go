@@ -1,0 +1,162 @@
+// Command escort-server boots an Escort web server in a chosen
+// configuration, drives it with a scripted mix of clients and attackers
+// for a given number of simulated seconds, and prints a running report:
+// throughput, attack statistics, containment events, and the final
+// accounting ledger. It is the interactive tour of the system.
+//
+// Usage:
+//
+//	escort-server [-config scout|accounting|accounting_pd]
+//	              [-seconds 10] [-clients 8] [-syn 1000] [-cgi 2] [-qos]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/escort"
+	"repro/internal/lib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfgName := flag.String("config", "accounting", "scout, accounting, or accounting_pd")
+	seconds := flag.Int("seconds", 10, "simulated seconds to run")
+	clients := flag.Int("clients", 8, "best-effort clients")
+	synRate := flag.Uint64("syn", 0, "SYN attack rate (SYNs/second, 0 = off)")
+	cgi := flag.Int("cgi", 0, "CGI attackers (1 runaway/second each)")
+	qos := flag.Bool("qos", false, "run the 1 MBps guaranteed stream")
+	pf := flag.Bool("pathfinder", false, "pattern-based demultiplexing")
+	penalty := flag.Bool("penaltybox", false, "demote repeat offenders to a penalty path")
+	portFilter := flag.Bool("portfilter", false, "interpose the port-80 filter on the TCP/IP edge")
+	verbose := flag.Bool("v", false, "trace kernel events")
+	flag.Parse()
+
+	var kind escort.Kind
+	switch *cfgName {
+	case "scout":
+		kind = escort.KindScout
+	case "accounting":
+		kind = escort.KindAccounting
+	case "accounting_pd":
+		kind = escort.KindAccountingPD
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+
+	eng := sim.New()
+	hub := netsim.NewHub(eng, 100_000_000, 3000)
+	opts := escort.Options{
+		Kind: kind,
+		Docs: map[string][]byte{
+			"/index.html": bytes.Repeat([]byte("x"), 1024),
+		},
+		SynCapUntrusted: 64,
+		PathFinder:      *pf,
+		PenaltyBox:      *penalty,
+		PortFilter:      *portFilter,
+	}
+	if *qos {
+		opts.QoSRateBps = 1 << 20
+	}
+	if *verbose {
+		opts.Trace = os.Stderr
+	}
+	srv, err := escort.NewServer(eng, cost.Default(), hub, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+
+	var cs []*workload.Client
+	for i := 0; i < *clients; i++ {
+		c := workload.NewClient(eng, hub, fmt.Sprintf("client%d", i),
+			lib.IPv4(10, 0, 1, byte(i+1)), netsim.MAC(0x0200_0000_1000+uint64(i)),
+			escort.ServerIP, "/index.html", uint64(i)+1)
+		c.Think = 8 * sim.CyclesPerMillisecond
+		cs = append(cs, c)
+		c.Start()
+	}
+	var syn *workload.SynAttacker
+	if *synRate > 0 {
+		syn = workload.NewSynAttacker(eng, hub, "syn-attacker",
+			lib.IPv4(192, 168, 9, 9), netsim.MAC(0x0200_0000_9999),
+			escort.ServerIP, *synRate, 42)
+		syn.Start()
+	}
+	for i := 0; i < *cgi; i++ {
+		a := workload.NewCGIAttacker(eng, hub, fmt.Sprintf("cgi%d", i),
+			lib.IPv4(10, 0, 2, byte(i+1)), netsim.MAC(0x0200_0000_2000+uint64(i)),
+			escort.ServerIP, 7000+uint64(i))
+		a.Start()
+	}
+	var recv *workload.QoSReceiver
+	if *qos {
+		recv = workload.NewQoSReceiver(eng, hub, "qos-receiver",
+			lib.IPv4(10, 0, 0, 2), netsim.MAC(0x0200_0000_0002), escort.ServerIP, 5)
+		recv.Start()
+	}
+
+	fmt.Printf("escort-server: %s configuration, %d clients", kind, *clients)
+	if *synRate > 0 {
+		fmt.Printf(", SYN flood %d/s", *synRate)
+	}
+	if *cgi > 0 {
+		fmt.Printf(", %d CGI attackers", *cgi)
+	}
+	if *qos {
+		fmt.Printf(", 1 MBps QoS stream")
+	}
+	fmt.Println()
+
+	var lastCompleted uint64
+	for s := 1; s <= *seconds; s++ {
+		srv.Run(sim.CyclesPerSecond)
+		var total uint64
+		for _, c := range cs {
+			total += c.Completed
+		}
+		line := fmt.Sprintf("t=%2ds  %5d conn/s", s, total-lastCompleted)
+		lastCompleted = total
+		if syn != nil {
+			line += fmt.Sprintf("  synDrops=%d", srv.Untrusted.DroppedSyn)
+		}
+		if srv.Contain != nil && srv.Contain.Kills > 0 {
+			line += fmt.Sprintf("  kills=%d (last %d cycles)",
+				srv.Contain.Kills, srv.Contain.LastKillCycles)
+		}
+		if recv != nil {
+			line += fmt.Sprintf("  qos=%.2fMBps", recv.RateBps(sim.CyclesPerSecond)/(1<<20))
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Println("\nfinal accounting ledger (top owners by cycles):")
+	snap := srv.K.Ledger().Snapshot(eng.Now())
+	type row struct {
+		name string
+		c    sim.Cycles
+	}
+	var rows []row
+	var total sim.Cycles
+	for name, c := range snap.Cycles {
+		rows = append(rows, row{name, c})
+		total += c
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].c > rows[j].c })
+	for i, r := range rows {
+		if i >= 12 || r.c == 0 {
+			break
+		}
+		fmt.Printf("  %-36s %14d (%.1f%%)\n", r.name, r.c, 100*float64(r.c)/float64(total))
+	}
+	fmt.Printf("  %-36s %14d\n", "TOTAL (== virtual clock)", total)
+}

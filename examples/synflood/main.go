@@ -1,0 +1,61 @@
+// Synflood demonstrates the SYN-attack defense of §4.4.1: trusted and
+// untrusted subnets get separate passive SYN paths; the untrusted
+// path's SYN_RECVD budget causes excess attack SYNs to be dropped
+// during demultiplexing — as early as possible — while trusted clients
+// keep being served.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cost"
+	"repro/internal/escort"
+	"repro/internal/lib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	eng := sim.New()
+	hub := netsim.NewHub(eng, 100_000_000, 3000)
+
+	srv, err := escort.NewServer(eng, cost.Default(), hub, escort.Options{
+		Kind:            escort.KindAccounting,
+		Docs:            map[string][]byte{"/": []byte("ok")},
+		SynCapUntrusted: 64, // the policy: at most 64 half-open untrusted connections
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+
+	// A legitimate client on the trusted subnet (10/8)...
+	client := workload.NewClient(eng, hub, "client",
+		lib.IPv4(10, 0, 1, 1), netsim.MAC(0x0200_0000_1001),
+		escort.ServerIP, "/", 1)
+	client.Start()
+
+	// ...and an attacker on the untrusted subnet firing 1000 SYN/s.
+	attacker := workload.NewSynAttacker(eng, hub, "attacker",
+		lib.IPv4(192, 168, 9, 9), netsim.MAC(0x0200_0000_9999),
+		escort.ServerIP, 1000, 42)
+	attacker.Start()
+
+	fmt.Println("running 5 simulated seconds of SYN flood...")
+	srv.Run(5 * sim.CyclesPerSecond)
+
+	fmt.Printf("attacker sent:              %6d SYNs\n", attacker.Sent)
+	fmt.Printf("untrusted passive path:     %6d SYNs dropped at demux, %d half-open (cap 64)\n",
+		srv.Untrusted.DroppedSyn, srv.Untrusted.SynRecvd)
+	fmt.Printf("trusted passive path:       %6d SYNs dropped\n", srv.Trusted.DroppedSyn)
+	fmt.Printf("trusted client completed:   %6d requests (%.1f/s) — service preserved\n",
+		client.Completed, float64(client.Completed)/eng.Now().Seconds())
+
+	// The attack's entire footprint is visible in the ledger.
+	snap := srv.K.Ledger().Snapshot(eng.Now())
+	fmt.Printf("cycles charged to untrusted passive path: %d (%.1f%% of total)\n",
+		snap.Cycles["Passive SYN Path (untrusted)"],
+		100*float64(snap.Cycles["Passive SYN Path (untrusted)"])/float64(eng.Now()))
+}

@@ -1,0 +1,42 @@
+package cost
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultModelAllFieldsSet(t *testing.T) {
+	m := Default()
+	v := reflect.ValueOf(*m)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Type().Field(i)
+		if v.Field(i).Interface().(sim.Cycles) == 0 {
+			t.Errorf("cost model field %s is zero; every primitive must cost something", f.Name)
+		}
+	}
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	m := Default()
+	// The Linux kill constant is the one number the paper reports
+	// directly for the baseline (Table 2).
+	if m.LinuxKill != 11_003 {
+		t.Fatalf("LinuxKill = %d, want the paper's 11003", m.LinuxKill)
+	}
+	// Crossing a protection domain must dominate ordinary kernel entry —
+	// the premise of the whole Accounting_PD comparison.
+	if m.CrossDomainCall < 10*m.Syscall {
+		t.Fatal("domain crossing not substantially costlier than a syscall")
+	}
+	// The pattern matcher must beat the module demux chain it replaces
+	// (three modules for a TCP segment).
+	if m.PathFinderMatch >= 3*m.DemuxPerModule {
+		t.Fatal("PathFinder match not cheaper than the module chain")
+	}
+	// Disk seek dwarfs per-byte transfer for small files.
+	if m.DiskSeek < 1000*m.DiskPerByte {
+		t.Fatal("seek/transfer ratio implausible")
+	}
+}

@@ -1,0 +1,223 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fig10Row is one point of Figure 10: best-effort rate with and without
+// the 1 MBps QoS stream, plus the stream's achieved rate.
+type Fig10Row struct {
+	Config   Config
+	Doc      DocSpec
+	Clients  int
+	Stream   bool
+	ConnPS   float64
+	QoSRate  float64 // bytes/second delivered to the receiver
+	QoSError float64 // fractional deviation from the 1 MBps target
+}
+
+// QoSTarget is the paper's guaranteed stream rate: 1 MByte/second.
+const QoSTarget = 1 << 20
+
+// Fig10 reproduces Figure 10: the impact of one guaranteed 1 MBps
+// stream on best-effort traffic, and the stream's own fidelity (the
+// paper: always within 1% of target).
+func Fig10(sc Scale, docs []DocSpec) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, doc := range docs {
+		for _, cfg := range []Config{ConfigAccounting, ConfigAccountingPD} {
+			for _, stream := range []bool{false, true} {
+				for _, n := range sc.Clients {
+					tb, err := NewTestbed(cfg, Options{QoSRateBps: QoSTarget})
+					if err != nil {
+						return nil, err
+					}
+					tb.AddClients(n, doc.Name)
+					if stream {
+						tb.AddQoSReceiver()
+					}
+					rate := tb.MeasureRate(sc.Warm, sc.Window)
+					row := Fig10Row{Config: cfg, Doc: doc, Clients: n, Stream: stream, ConnPS: rate}
+					if stream {
+						row.QoSRate = tb.QoS.RateBps(sc.Window)
+						row.QoSError = (row.QoSRate - QoSTarget) / QoSTarget
+					}
+					tb.Close()
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig10 renders the figure.
+func FormatFig10(rows []Fig10Row) string {
+	var b strings.Builder
+	for _, doc := range []DocSpec{Doc1B, Doc1K, Doc10K} {
+		any := false
+		for _, r := range rows {
+			if r.Doc.Name == doc.Name {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(&b, "Figure 10: %s document, 1 MBps QoS stream\n", doc.Label)
+		fmt.Fprintf(&b, "%8s %14s %14s %9s %14s %14s %9s %10s\n", "#clients",
+			"Acct", "Acct+QoS", "slow%", "Acct_PD", "Acct_PD+QoS", "slow%", "QoS err%")
+		for _, n := range fig10Clients(rows) {
+			a := fig10Rate(rows, ConfigAccounting, doc, n, false)
+			aq := fig10Rate(rows, ConfigAccounting, doc, n, true)
+			p := fig10Rate(rows, ConfigAccountingPD, doc, n, false)
+			pq := fig10Rate(rows, ConfigAccountingPD, doc, n, true)
+			worstErr := 0.0
+			for _, r := range rows {
+				if r.Doc.Name == doc.Name && r.Clients == n && r.Stream {
+					if e := r.QoSError; e < 0 {
+						e = -e
+						if e > worstErr {
+							worstErr = e
+						}
+					} else if e > worstErr {
+						worstErr = e
+					}
+				}
+			}
+			fmt.Fprintf(&b, "%8d %14.1f %14.1f %8.1f%% %14.1f %14.1f %8.1f%% %9.2f%%\n",
+				n, a, aq, slowdown(a, aq), p, pq, slowdown(p, pq), 100*worstErr)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fig10Clients(rows []Fig10Row) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range rows {
+		if !seen[r.Clients] {
+			seen[r.Clients] = true
+			out = append(out, r.Clients)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func fig10Rate(rows []Fig10Row, cfg Config, doc DocSpec, n int, stream bool) float64 {
+	for _, r := range rows {
+		if r.Config == cfg && r.Doc.Name == doc.Name && r.Clients == n && r.Stream == stream {
+			return r.ConnPS
+		}
+	}
+	return 0
+}
+
+// Fig11Row is one point of Figure 11: best-effort rate under CGI
+// attackers, with the QoS stream held.
+type Fig11Row struct {
+	Config    Config
+	Doc       DocSpec
+	Attackers int
+	ConnPS    float64
+	QoSRate   float64
+	Kills     uint64
+}
+
+// Fig11 reproduces Figure 11: 64 clients, the 1 MBps stream, and 1-50
+// CGI attackers launching one runaway per second. Each runaway burns
+// 2 ms of CPU before detection; pathKill then reclaims everything. The
+// QoS stream must stay within 1% throughout.
+func Fig11(sc Scale, docs []DocSpec, clients int) ([]Fig11Row, error) {
+	var rows []Fig11Row
+	for _, doc := range docs {
+		for _, cfg := range []Config{ConfigAccounting, ConfigAccountingPD} {
+			for _, atk := range sc.CGICnts {
+				tb, err := NewTestbed(cfg, Options{QoSRateBps: QoSTarget})
+				if err != nil {
+					return nil, err
+				}
+				tb.AddClients(clients, doc.Name)
+				tb.AddQoSReceiver()
+				tb.AddCGIAttackers(atk)
+				rate := tb.MeasureRate(sc.Warm, sc.Window)
+				row := Fig11Row{
+					Config:    cfg,
+					Doc:       doc,
+					Attackers: atk,
+					ConnPS:    rate,
+					QoSRate:   tb.QoS.RateBps(sc.Window),
+					Kills:     tb.Escort.Contain.Kills,
+				}
+				tb.Close()
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig11 renders the figure.
+func FormatFig11(rows []Fig11Row, clients int) string {
+	var b strings.Builder
+	for _, doc := range []DocSpec{Doc1B, Doc1K, Doc10K} {
+		any := false
+		for _, r := range rows {
+			if r.Doc.Name == doc.Name {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(&b, "Figure 11: %s document, %d clients, 1 MBps stream, CGI attackers\n", doc.Label, clients)
+		fmt.Fprintf(&b, "%10s %14s %10s %10s %14s %10s %10s\n", "#attackers",
+			"Acct c/s", "QoS err%", "kills", "Acct_PD c/s", "QoS err%", "kills")
+		for _, atk := range fig11Attackers(rows) {
+			a := fig11Row(rows, ConfigAccounting, doc, atk)
+			p := fig11Row(rows, ConfigAccountingPD, doc, atk)
+			fmt.Fprintf(&b, "%10d %14.1f %9.2f%% %10d %14.1f %9.2f%% %10d\n",
+				atk, a.ConnPS, qosErrPct(a.QoSRate), a.Kills,
+				p.ConnPS, qosErrPct(p.QoSRate), p.Kills)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func qosErrPct(rate float64) float64 {
+	if rate == 0 {
+		return 0
+	}
+	e := (rate - QoSTarget) / QoSTarget * 100
+	if e < 0 {
+		return -e
+	}
+	return e
+}
+
+func fig11Attackers(rows []Fig11Row) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range rows {
+		if !seen[r.Attackers] {
+			seen[r.Attackers] = true
+			out = append(out, r.Attackers)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func fig11Row(rows []Fig11Row, cfg Config, doc DocSpec, atk int) Fig11Row {
+	for _, r := range rows {
+		if r.Config == cfg && r.Doc.Name == doc.Name && r.Attackers == atk {
+			return r
+		}
+	}
+	return Fig11Row{}
+}

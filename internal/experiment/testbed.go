@@ -1,0 +1,224 @@
+// Package experiment reproduces the paper's evaluation (§4): the
+// Figure 7 testbed, the four server configurations under the §4.1.2
+// loads, and a generator for every table and figure. Scale parameters
+// (warm-up, measurement window, client counts) are explicit so the
+// benchmarks can run reduced versions while cmd/escort-bench runs
+// paper-scale ones.
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/escort"
+	"repro/internal/lib"
+	"repro/internal/linuxsim"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config names the measured configurations of §4.1.1.
+type Config string
+
+// The four configurations.
+const (
+	ConfigScout        Config = "Scout"
+	ConfigAccounting   Config = "Accounting"
+	ConfigAccountingPD Config = "Accounting_PD"
+	ConfigLinux        Config = "Linux"
+)
+
+// ScoutConfigs are the three Escort-based configurations.
+var ScoutConfigs = []Config{ConfigScout, ConfigAccounting, ConfigAccountingPD}
+
+// AllConfigs includes the Linux baseline.
+var AllConfigs = []Config{ConfigLinux, ConfigScout, ConfigAccounting, ConfigAccountingPD}
+
+// Documents of §4.1.2.
+var (
+	Doc1B  = DocSpec{Name: "/doc1", Size: 1, Label: "1 byte"}
+	Doc1K  = DocSpec{Name: "/doc1k", Size: 1024, Label: "1 KByte"}
+	Doc10K = DocSpec{Name: "/doc10k", Size: 10240, Label: "10 KByte"}
+)
+
+// DocSpec describes one test document.
+type DocSpec struct {
+	Name  string
+	Size  int
+	Label string
+}
+
+// Docs builds the document set.
+func Docs() map[string][]byte {
+	return map[string][]byte{
+		Doc1B.Name:  bytes.Repeat([]byte("x"), Doc1B.Size),
+		Doc1K.Name:  bytes.Repeat([]byte("x"), Doc1K.Size),
+		Doc10K.Name: bytes.Repeat([]byte("x"), Doc10K.Size),
+	}
+}
+
+const mbps100 = 100_000_000
+
+// Testbed is the Figure 7 setup: server, QoS receiver and SYN attacker
+// on a hub; clients and CGI attackers on a switch bridged to the hub.
+type Testbed struct {
+	Eng    *sim.Engine
+	Model  *cost.Model
+	Hub    *netsim.Hub
+	Switch *netsim.Switch
+
+	Config Config
+	Escort *escort.Server
+	Linux  *linuxsim.Server
+
+	Clients []*workload.Client
+	CGI     []*workload.CGIAttacker
+	Syn     *workload.SynAttacker
+	QoS     *workload.QoSReceiver
+}
+
+// Options tunes the testbed.
+type Options struct {
+	// SynCapUntrusted bounds the untrusted listener (default 64 when a
+	// SYN attacker is present; the policy of §4.4.1).
+	SynCapUntrusted int
+	// QoSRateBps enables the stream service.
+	QoSRateBps int
+	// PathFinder enables pattern-based demultiplexing.
+	PathFinder bool
+	// Model overrides the cost model (ablation studies).
+	Model *cost.Model
+	// Scheduler overrides the thread scheduler (ablation studies).
+	Scheduler string
+}
+
+// NewTestbed builds the topology and the server of the given config.
+func NewTestbed(cfg Config, opt Options) (*Testbed, error) {
+	eng := sim.New()
+	hub := netsim.NewHub(eng, mbps100, 3000)
+	sw := netsim.NewSwitch(eng, mbps100, 3000)
+	netsim.NewBridge("uplink", hub, sw, netsim.MAC(0x0200_0000_00FE), netsim.MAC(0x0200_0000_00FF))
+
+	model := opt.Model
+	if model == nil {
+		model = cost.Default()
+	}
+	tb := &Testbed{Eng: eng, Model: model, Hub: hub, Switch: sw, Config: cfg}
+	if cfg == ConfigLinux {
+		tb.Linux = linuxsim.New(eng, tb.Model, hub, escort.ServerIP, escort.ServerMAC, Docs())
+		return tb, nil
+	}
+	var kind escort.Kind
+	switch cfg {
+	case ConfigScout:
+		kind = escort.KindScout
+	case ConfigAccounting:
+		kind = escort.KindAccounting
+	case ConfigAccountingPD:
+		kind = escort.KindAccountingPD
+	default:
+		return nil, fmt.Errorf("experiment: unknown config %q", cfg)
+	}
+	srv, err := escort.NewServer(eng, tb.Model, hub, escort.Options{
+		Kind:            kind,
+		Docs:            Docs(),
+		SynCapUntrusted: opt.SynCapUntrusted,
+		QoSRateBps:      opt.QoSRateBps,
+		Scheduler:       opt.Scheduler,
+		PathFinder:      opt.PathFinder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.Escort = srv
+	return tb, nil
+}
+
+// Close unwinds kernel threads.
+func (tb *Testbed) Close() {
+	if tb.Escort != nil {
+		tb.Escort.Stop()
+	}
+}
+
+// ClientThink models the per-request client-side turnaround of the
+// paper's PentiumPro stations (request construction, their own kernel's
+// TCP work): it is what makes the Figure 8 curves climb with client
+// count instead of a single client saturating the server.
+const ClientThink = 8 * sim.CyclesPerMillisecond
+
+// AddClients attaches n best-effort clients (trusted subnet, on the
+// switch) requesting doc.
+func (tb *Testbed) AddClients(n int, doc string) {
+	for i := 0; i < n; i++ {
+		idx := len(tb.Clients)
+		ip := lib.IPv4(10, 0, 1+byte(idx/250), byte(idx%250)+1)
+		mac := netsim.MAC(0x0200_0000_1000 + uint64(idx))
+		c := workload.NewClient(tb.Eng, tb.Switch, fmt.Sprintf("client%d", idx),
+			ip, mac, escort.ServerIP, doc, uint64(idx)+1)
+		c.Think = ClientThink
+		tb.Clients = append(tb.Clients, c)
+		c.Start()
+	}
+}
+
+// AddSynAttacker attaches the SYN flood source (untrusted subnet, on
+// the hub) at the given rate.
+func (tb *Testbed) AddSynAttacker(rate uint64) {
+	tb.Syn = workload.NewSynAttacker(tb.Eng, tb.Hub, "syn-attacker",
+		lib.IPv4(192, 168, 9, 9), netsim.MAC(0x0200_0000_9999),
+		escort.ServerIP, rate, 4242)
+	tb.Syn.Start()
+}
+
+// AddCGIAttackers attaches n CGI attackers (on the switch, one attack
+// per second each).
+func (tb *Testbed) AddCGIAttackers(n int) {
+	for i := 0; i < n; i++ {
+		idx := len(tb.CGI)
+		ip := lib.IPv4(10, 0, 200+byte(idx/250), byte(idx%250)+1)
+		mac := netsim.MAC(0x0200_0000_8000 + uint64(idx))
+		a := workload.NewCGIAttacker(tb.Eng, tb.Switch, fmt.Sprintf("cgi%d", idx),
+			ip, mac, escort.ServerIP, 7000+uint64(idx))
+		tb.CGI = append(tb.CGI, a)
+		a.Start()
+	}
+}
+
+// AddQoSReceiver attaches the stream receiver (on the hub).
+func (tb *Testbed) AddQoSReceiver() {
+	tb.QoS = workload.NewQoSReceiver(tb.Eng, tb.Hub, "qos-receiver",
+		lib.IPv4(10, 0, 0, 2), netsim.MAC(0x0200_0000_0002), escort.ServerIP, 5)
+	tb.QoS.Start()
+}
+
+// RunFor advances the whole simulation by d cycles.
+func (tb *Testbed) RunFor(d sim.Cycles) {
+	if tb.Escort != nil {
+		tb.Escort.K.Run(tb.Eng.Now() + d)
+		return
+	}
+	tb.Eng.Drain(tb.Eng.Now() + d)
+}
+
+// TotalCompleted sums client completions.
+func (tb *Testbed) TotalCompleted() uint64 {
+	var total uint64
+	for _, c := range tb.Clients {
+		total += c.Completed
+	}
+	return total
+}
+
+// MeasureRate runs a warm-up then a measurement window and returns the
+// best-effort connection rate (connections/second), the paper's
+// ten-second-average methodology.
+func (tb *Testbed) MeasureRate(warm, window sim.Cycles) float64 {
+	tb.RunFor(warm)
+	before := tb.TotalCompleted()
+	tb.RunFor(window)
+	delta := tb.TotalCompleted() - before
+	return float64(delta) / window.Seconds()
+}

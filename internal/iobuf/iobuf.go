@@ -1,0 +1,423 @@
+// Package iobuf implements Escort's IOBuffers (§3.3): page-multiple
+// buffers used to pass blocks of data between protection domains without
+// copying. They descend from fbufs but with stricter mapping rules and a
+// kernel reference-counting scheme:
+//
+//   - A buffer allocated for a protection domain is mapped read/write in
+//     that domain only.
+//   - A buffer allocated for a path is mapped read/write in the current
+//     domain and read-only in the other domains along the path, up to and
+//     including an optional termination domain.
+//   - Holding (locking) a buffer freezes it: all write permission is
+//     revoked so the contents can be validated once and trusted.
+//   - Unlocking decrements the reference count; at zero the buffer is
+//     freed or parked in a cache, and a later allocation with the same
+//     mapping set reuses it without cleaning.
+//   - A buffer can be associated with a second owner (a web cache being
+//     the canonical user); the second owner is fully charged — the paper
+//     accepts that more resources are charged than used.
+//
+// The MMU is simulated: ReadAt/WriteAt check the mapping table and fail
+// the way a protection fault would.
+package iobuf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/kernel"
+	"repro/internal/lib"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Perm is a simulated mapping permission.
+type Perm int
+
+// Mapping permissions.
+const (
+	PermNone Perm = iota
+	PermRO
+	PermRW
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermNone:
+		return "none"
+	case PermRO:
+		return "ro"
+	case PermRW:
+		return "rw"
+	default:
+		return fmt.Sprintf("Perm(%d)", int(p))
+	}
+}
+
+// Errors returned by buffer operations.
+var (
+	ErrNoAccess  = errors.New("iobuf: protection fault")
+	ErrFrozen    = errors.New("iobuf: buffer is locked (write permission revoked)")
+	ErrFreed     = errors.New("iobuf: buffer already freed")
+	ErrExhausted = errors.New("iobuf: page pool exhausted")
+)
+
+// MapSpec describes how a buffer is mapped when allocated or associated.
+type MapSpec struct {
+	// Current is the allocating domain: mapped read/write.
+	Current domain.ID
+	// PathDomains are the other domains along the owning path, in flow
+	// order: mapped read-only. Empty for domain-owned buffers.
+	PathDomains []domain.ID
+	// Termination, when non-zero, truncates the read-only mappings after
+	// that domain — the paper's termination-domain mechanism for paths
+	// spanning multiple security levels.
+	Termination domain.ID
+}
+
+// Buffer is an IOBuffer. The first long word of a real Escort IOBuffer
+// holds the ID of the domain allowed to write; here that is the writer
+// field, cleared when the buffer is frozen by a lock.
+type Buffer struct {
+	id       uint64
+	mgr      *Manager
+	pages    int
+	blk      *mem.Block
+	data     []byte
+	writer   domain.ID // domain with write permission
+	frozen   bool      // write permission revoked by a lock
+	refcnt   int
+	mappings map[domain.ID]Perm
+	freed    bool
+	cached   bool
+}
+
+// Hold is an owner's reference to a buffer: the object tracked on the
+// owner's iobufferlock list (Figure 4). Alloc, Lock, and Associate all
+// create holds; releasing the last hold frees or caches the buffer.
+type Hold struct {
+	buf      *Buffer
+	owner    *core.Owner
+	node     lib.Node
+	released bool
+}
+
+// Buffer returns the held buffer.
+func (h *Hold) Buffer() *Buffer { return h.buf }
+
+// Owner returns the charged owner.
+func (h *Hold) Owner() *core.Owner { return h.owner }
+
+// Manager allocates and caches IOBuffers. Physical pages are owned by
+// the kernel (which is "ultimately responsible" for them); each hold
+// charges its owner's page counter in full.
+type Manager struct {
+	k      *kernel.Kernel
+	nextID uint64
+	cache  []*Buffer
+
+	hits, misses uint64
+}
+
+// NewManager returns an IOBuffer manager bound to the kernel.
+func NewManager(k *kernel.Kernel) *Manager {
+	return &Manager{k: k}
+}
+
+// CacheStats reports buffer-cache hits and misses.
+func (m *Manager) CacheStats() (hits, misses uint64) { return m.hits, m.misses }
+
+// CacheLen reports the number of parked buffers.
+func (m *Manager) CacheLen() int { return len(m.cache) }
+
+func (m *Manager) charge(ctx *kernel.Ctx, owner *core.Owner, c sim.Cycles) {
+	if ctx != nil {
+		ctx.Use(c)
+	} else {
+		m.k.Burn(owner, c)
+	}
+}
+
+// Alloc allocates a buffer of npages pages for owner with the given
+// mapping. ctx may be nil in interrupt context (costs are then charged
+// directly to owner). The returned hold is the owner's reference.
+func (m *Manager) Alloc(ctx *kernel.Ctx, owner *core.Owner, npages int, spec MapSpec) (*Hold, error) {
+	if npages <= 0 {
+		panic("iobuf: non-positive page count")
+	}
+	model := m.k.Model()
+	m.charge(ctx, owner, model.IOBufAlloc+m.k.AccountingTax())
+
+	b := m.fromCache(npages, spec)
+	if b == nil {
+		m.misses++
+		blk, err := m.k.Pages().Alloc(m.k.KernelOwner(), npages)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrExhausted, err)
+		}
+		m.nextID++
+		b = &Buffer{
+			id:       m.nextID,
+			mgr:      m,
+			pages:    npages,
+			data:     make([]byte, npages*mem.PageSize),
+			mappings: make(map[domain.ID]Perm),
+			blk:      blk,
+		}
+	} else {
+		m.hits++
+	}
+	b.applySpec(spec)
+	m.charge(ctx, owner, sim.Cycles(len(b.mappings))*model.IOBufMapPerDomain)
+	return b.hold(owner), nil
+}
+
+func (b *Buffer) applySpec(spec MapSpec) {
+	b.writer = spec.Current
+	b.frozen = false
+	b.mappings[spec.Current] = PermRW
+	for _, d := range spec.PathDomains {
+		if d == spec.Current {
+			continue
+		}
+		if _, exists := b.mappings[d]; !exists {
+			b.mappings[d] = PermRO
+		}
+		if spec.Termination != 0 && d == spec.Termination {
+			break
+		}
+	}
+}
+
+func (b *Buffer) hold(owner *core.Owner) *Hold {
+	h := &Hold{buf: b, owner: owner}
+	h.node.Value = h
+	b.refcnt++
+	owner.ChargePages(uint64(b.pages))
+	owner.Track(core.TrackIOBufferLocks, &h.node)
+	return h
+}
+
+// Lock freezes the buffer for owner: the reference count rises, all
+// write permission is revoked (the writer-domain word is cleared), and
+// the contents can be checked once and trusted thereafter.
+func (m *Manager) Lock(ctx *kernel.Ctx, b *Buffer, owner *core.Owner) (*Hold, error) {
+	if b.freed {
+		return nil, ErrFreed
+	}
+	m.charge(ctx, owner, m.k.Model().IOBufLock+m.k.AccountingTax())
+	b.frozen = true
+	if b.mappings[b.writer] == PermRW {
+		b.mappings[b.writer] = PermRO
+	}
+	return b.hold(owner), nil
+}
+
+// Associate maps a pre-existing buffer for a second owner (the web-cache
+// pattern): the buffer is locked for the second owner, extra mappings
+// are installed per spec, and the second owner is fully charged.
+func (m *Manager) Associate(ctx *kernel.Ctx, b *Buffer, owner *core.Owner, spec MapSpec) (*Hold, error) {
+	if b.freed {
+		return nil, ErrFreed
+	}
+	model := m.k.Model()
+	m.charge(ctx, owner, model.IOBufLock+model.IOBufAlloc/2+m.k.AccountingTax())
+	// Extra read-only mappings along the new path; the buffer stays
+	// frozen (association includes locking).
+	for _, d := range spec.PathDomains {
+		if _, exists := b.mappings[d]; !exists {
+			b.mappings[d] = PermRO
+		}
+		if spec.Termination != 0 && d == spec.Termination {
+			break
+		}
+	}
+	if _, exists := b.mappings[spec.Current]; !exists {
+		b.mappings[spec.Current] = PermRO
+	}
+	b.frozen = true
+	if b.mappings[b.writer] == PermRW {
+		b.mappings[b.writer] = PermRO
+	}
+	m.charge(ctx, owner, sim.Cycles(len(b.mappings))*model.IOBufMapPerDomain)
+	return b.hold(owner), nil
+}
+
+// Unlock releases a hold. When the last hold goes the buffer is parked
+// in the manager's cache (or freed if the cache is full). Idempotent per
+// hold; unlocking twice panics, as the kernel would fault.
+func (m *Manager) Unlock(ctx *kernel.Ctx, h *Hold) {
+	if h.released {
+		panic("iobuf: double unlock")
+	}
+	m.charge(ctx, h.owner, m.k.Model().IOBufLock)
+	h.owner.Untrack(core.TrackIOBufferLocks, &h.node)
+	h.release()
+}
+
+// ReleaseOwned implements core.Tracked: owner teardown drops the hold.
+func (h *Hold) ReleaseOwned(kill bool) {
+	if h.released {
+		return
+	}
+	h.release()
+}
+
+func (h *Hold) release() {
+	h.released = true
+	if !h.owner.Dead() {
+		h.owner.RefundPages(uint64(h.buf.pages))
+	} else {
+		// Owner died before refund: counters were zeroed by page release
+		// order; RefundPages on the hold's share may underflow, so adjust
+		// defensively.
+		if h.owner.Counters.Pages >= uint64(h.buf.pages) {
+			h.owner.RefundPages(uint64(h.buf.pages))
+		}
+	}
+	b := h.buf
+	b.refcnt--
+	if b.refcnt == 0 {
+		b.mgr.park(b)
+	}
+}
+
+// cacheLimit bounds the buffer cache.
+const cacheLimit = 64
+
+func (m *Manager) park(b *Buffer) {
+	// Drop all write mappings; contents stay for reuse.
+	for d, p := range b.mappings {
+		if p == PermRW {
+			b.mappings[d] = PermRO
+		}
+	}
+	b.frozen = false
+	if len(m.cache) < cacheLimit {
+		b.cached = true
+		m.cache = append(m.cache, b)
+		return
+	}
+	m.reclaim(b)
+}
+
+func (m *Manager) reclaim(b *Buffer) {
+	b.freed = true
+	b.blk.Free()
+	b.data = nil
+}
+
+// fromCache finds a parked buffer whose read mappings cover the wanted
+// domains with the right size — the paper's no-cleaning reuse rule.
+func (m *Manager) fromCache(npages int, spec MapSpec) *Buffer {
+	want := specDomains(spec)
+	for i, b := range m.cache {
+		if b.pages != npages {
+			continue
+		}
+		if mappingsMatch(b.mappings, want) {
+			m.cache = append(m.cache[:i], m.cache[i+1:]...)
+			b.cached = false
+			return b
+		}
+	}
+	return nil
+}
+
+func specDomains(spec MapSpec) []domain.ID {
+	ds := []domain.ID{spec.Current}
+	for _, d := range spec.PathDomains {
+		if d != spec.Current {
+			ds = append(ds, d)
+		}
+		if spec.Termination != 0 && d == spec.Termination {
+			break
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}
+
+func mappingsMatch(m map[domain.ID]Perm, want []domain.ID) bool {
+	if len(m) != len(want) {
+		return false
+	}
+	for _, d := range want {
+		if _, ok := m[d]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FlushCache frees all parked buffers (tests and memory pressure).
+func (m *Manager) FlushCache() {
+	for _, b := range m.cache {
+		b.cached = false
+		m.reclaim(b)
+	}
+	m.cache = nil
+}
+
+// ID returns the buffer identity.
+func (b *Buffer) ID() uint64 { return b.id }
+
+// Pages returns the buffer size in pages.
+func (b *Buffer) Pages() int { return b.pages }
+
+// Size returns the buffer size in bytes.
+func (b *Buffer) Size() int { return b.pages * mem.PageSize }
+
+// Refcnt returns the kernel reference count.
+func (b *Buffer) Refcnt() int { return b.refcnt }
+
+// Frozen reports whether write permission has been revoked by a lock.
+func (b *Buffer) Frozen() bool { return b.frozen }
+
+// Writer returns the domain currently allowed to write (meaningless when
+// frozen).
+func (b *Buffer) Writer() domain.ID { return b.writer }
+
+// Mapping returns the simulated mapping permission for a domain.
+func (b *Buffer) Mapping(d domain.ID) Perm { return b.mappings[d] }
+
+// WriteAt writes into the buffer from the given domain, enforcing the
+// simulated MMU: the domain must hold the read/write mapping and the
+// buffer must not be frozen.
+func (b *Buffer) WriteAt(d domain.ID, off int, p []byte) error {
+	if b.freed {
+		return ErrFreed
+	}
+	if b.frozen {
+		return fmt.Errorf("%w (domain %d)", ErrFrozen, d)
+	}
+	if b.mappings[d] != PermRW || b.writer != d {
+		return fmt.Errorf("%w: write from domain %d", ErrNoAccess, d)
+	}
+	if off < 0 || off+len(p) > len(b.data) {
+		return fmt.Errorf("iobuf: write [%d,%d) outside buffer of %d bytes", off, off+len(p), len(b.data))
+	}
+	copy(b.data[off:], p)
+	return nil
+}
+
+// ReadAt reads from the buffer in the given domain; any mapping suffices.
+func (b *Buffer) ReadAt(d domain.ID, off int, p []byte) error {
+	if b.freed {
+		return ErrFreed
+	}
+	if b.mappings[d] == PermNone {
+		return fmt.Errorf("%w: read from domain %d", ErrNoAccess, d)
+	}
+	if off < 0 || off+len(p) > len(b.data) {
+		return fmt.Errorf("iobuf: read [%d,%d) outside buffer of %d bytes", off, off+len(p), len(b.data))
+	}
+	copy(p, b.data[off:])
+	return nil
+}
+
+// Bytes exposes the raw contents to privileged (kernel) code and tests.
+func (b *Buffer) Bytes() []byte { return b.data }

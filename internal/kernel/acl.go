@@ -1,0 +1,201 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/sim"
+)
+
+// ErrAccessDenied is returned when the ACL rejects a syscall.
+var ErrAccessDenied = errors.New("kernel: access denied")
+
+// Op enumerates the Escort syscall surface. The paper: "Escort currently
+// implements 52 system calls that provide access to the following kernel
+// objects: paths, IObuffers, threads, events, semaphores, memory pages,
+// devices, and the console." The enumeration below reconstructs that
+// surface from the operations the paper describes.
+type Op int
+
+// The syscall surface, grouped by kernel object.
+const (
+	// Paths (§3.1).
+	OpPathCreate Op = iota
+	OpPathDestroy
+	OpPathKill
+	OpPathEnqueueSource
+	OpPathEnqueueSink
+	OpPathDequeueSource
+	OpPathDequeueSink
+	OpPathExtend
+	OpPathRef
+	OpPathUnref
+	OpPathRegisterDestructor
+	OpPathStat
+
+	// IOBuffers (§3.3).
+	OpIOBufAlloc
+	OpIOBufFree
+	OpIOBufLock
+	OpIOBufUnlock
+	OpIOBufAssociate
+	OpIOBufSetDirection
+	OpIOBufSetTermination
+	OpIOBufQuery
+
+	// Threads (§3.2).
+	OpThreadSpawn
+	OpThreadYield
+	OpThreadStop
+	OpThreadHandoff
+	OpThreadSetLimit
+	OpThreadStat
+
+	// Events.
+	OpEventRegister
+	OpEventCancel
+	OpEventStat
+
+	// Semaphores.
+	OpSemCreate
+	OpSemP
+	OpSemV
+	OpSemDestroy
+	OpSemStat
+
+	// Memory pages (§2.4).
+	OpPageAlloc
+	OpPageFree
+	OpPageStat
+	OpHeapCreate
+
+	// Devices.
+	OpDeviceOpen
+	OpDeviceClose
+	OpDeviceRead
+	OpDeviceWrite
+	OpDeviceControl
+	OpDeviceStat
+
+	// Console.
+	OpConsoleWrite
+	OpConsoleRead
+
+	// Owners, accounting and policy.
+	OpOwnerStat
+	OpOwnerSetLimits
+	OpSchedSetShare
+	OpSchedSetPriority
+	OpSchedSetDeadline
+	OpDomainStat
+
+	// NumOps is the size of the syscall table.
+	NumOps
+)
+
+var opNames = map[Op]string{
+	OpPathCreate: "pathCreate", OpPathDestroy: "pathDestroy", OpPathKill: "pathKill",
+	OpPathEnqueueSource: "pathEnqueueSource", OpPathEnqueueSink: "pathEnqueueSink",
+	OpPathDequeueSource: "pathDequeueSource", OpPathDequeueSink: "pathDequeueSink",
+	OpPathExtend: "pathExtend", OpPathRef: "pathRef", OpPathUnref: "pathUnref",
+	OpPathRegisterDestructor: "pathRegisterDestructor", OpPathStat: "pathStat",
+	OpIOBufAlloc: "iobufAlloc", OpIOBufFree: "iobufFree", OpIOBufLock: "iobufLock",
+	OpIOBufUnlock: "iobufUnlock", OpIOBufAssociate: "iobufAssociate",
+	OpIOBufSetDirection: "iobufSetDirection", OpIOBufSetTermination: "iobufSetTermination",
+	OpIOBufQuery:  "iobufQuery",
+	OpThreadSpawn: "threadSpawn", OpThreadYield: "threadYield", OpThreadStop: "threadStop",
+	OpThreadHandoff: "threadHandoff", OpThreadSetLimit: "threadSetLimit", OpThreadStat: "threadStat",
+	OpEventRegister: "eventRegister", OpEventCancel: "eventCancel", OpEventStat: "eventStat",
+	OpSemCreate: "semCreate", OpSemP: "semP", OpSemV: "semV", OpSemDestroy: "semDestroy",
+	OpSemStat:   "semStat",
+	OpPageAlloc: "pageAlloc", OpPageFree: "pageFree", OpPageStat: "pageStat",
+	OpHeapCreate: "heapCreate",
+	OpDeviceOpen: "deviceOpen", OpDeviceClose: "deviceClose", OpDeviceRead: "deviceRead",
+	OpDeviceWrite: "deviceWrite", OpDeviceControl: "deviceControl", OpDeviceStat: "deviceStat",
+	OpConsoleWrite: "consoleWrite", OpConsoleRead: "consoleRead",
+	OpOwnerStat: "ownerStat", OpOwnerSetLimits: "ownerSetLimits",
+	OpSchedSetShare: "schedSetShare", OpSchedSetPriority: "schedSetPriority",
+	OpSchedSetDeadline: "schedSetDeadline", OpDomainStat: "domainStat",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ACL is the first of Escort's four policy-enforcement levels (§2.5): a
+// role-based access control list guarding the kernel. A role is the pair
+// (owner type of the calling thread, current protection domain); the
+// default grants everything to the privileged domain and everything
+// except policy-setting operations to unprivileged domains.
+type ACL struct {
+	denied map[aclKey]bool
+}
+
+type aclKey struct {
+	dom domain.ID
+	op  Op
+}
+
+// NewACL returns the default ACL: policy-setting syscalls (owner limits,
+// scheduler shares) are denied to unprivileged domains.
+func NewACL() *ACL {
+	a := &ACL{denied: make(map[aclKey]bool)}
+	return a
+}
+
+// privilegedOnly lists syscalls only the kernel domain may issue by
+// default.
+var privilegedOnly = map[Op]bool{
+	OpOwnerSetLimits:   true,
+	OpSchedSetShare:    true,
+	OpSchedSetPriority: true,
+	OpSchedSetDeadline: true,
+	OpPathKill:         true,
+	OpThreadStop:       true,
+}
+
+// Deny forbids a domain the given syscall.
+func (a *ACL) Deny(d domain.ID, op Op) { a.denied[aclKey{d, op}] = true }
+
+// Allow re-grants a domain the given syscall (clears Deny and the
+// privileged-only default for that domain).
+func (a *ACL) Allow(d domain.ID, op Op) { a.denied[aclKey{d, op}] = false }
+
+// Check reports whether the domain may issue the syscall.
+func (a *ACL) Check(d domain.ID, op Op) bool {
+	if v, explicit := a.denied[aclKey{d, op}]; explicit {
+		return !v
+	}
+	if d == domain.KernelID {
+		return true
+	}
+	return !privilegedOnly[op]
+}
+
+// Syscall charges the kernel-entry cost and checks the ACL against the
+// thread's current protection domain. Module code calls this before each
+// kernel object operation; a denied call returns ErrAccessDenied without
+// performing the operation.
+func (c *Ctx) Syscall(op Op) error {
+	c.Use(c.k.model.Syscall + c.k.AccountingTax())
+	if !c.k.acl.Check(c.t.curDomain, op) {
+		c.k.Logf("acl: %s denied in domain %d (owner %s)", op, c.t.curDomain, c.t.owner.Name)
+		return fmt.Errorf("%w: %s in domain %d", ErrAccessDenied, op, c.t.curDomain)
+	}
+	return nil
+}
+
+// ConsoleWrite is the console syscall: writes bytes to the configured
+// trace sink, charged per byte.
+func (c *Ctx) ConsoleWrite(msg string) error {
+	if err := c.Syscall(OpConsoleWrite); err != nil {
+		return err
+	}
+	c.Use(sim.Cycles(len(msg)) * c.k.model.ConsoleWritePerByte)
+	c.k.Logf("console(%s): %s", c.t.owner.Name, msg)
+	return nil
+}

@@ -1,0 +1,237 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lib"
+	"repro/internal/sim"
+)
+
+// Kernel memory footprints of the synchronization objects.
+const (
+	semKmem   = 128
+	eventKmem = 96
+)
+
+// ErrDestroyed is returned to waiters unblocked by semaphore destruction.
+var ErrDestroyed = errors.New("kernel: object destroyed")
+
+// Semaphore is an Escort semaphore (§3.2): owned by a path or protection
+// domain; threads blocked on it need not belong to the owner; destroying
+// it unblocks every thread that does not belong to the owner (the
+// owner's threads are being destroyed anyway).
+type Semaphore struct {
+	k         *Kernel
+	owner     *core.Owner
+	name      string
+	count     int
+	waiters   []*Thread
+	node      lib.Node
+	destroyed bool
+}
+
+// NewSemaphore creates a semaphore charged to owner.
+func (k *Kernel) NewSemaphore(owner *core.Owner, name string, initial int) *Semaphore {
+	s := &Semaphore{k: k, owner: owner, name: name, count: initial}
+	s.node.Value = s
+	owner.ChargeSemaphore()
+	owner.ChargeKmem(semKmem)
+	owner.Track(core.TrackSemaphores, &s.node)
+	k.Burn(owner, k.model.SemOp+k.AccountingTax())
+	return s
+}
+
+// Owner returns the charged owner.
+func (s *Semaphore) Owner() *core.Owner { return s.owner }
+
+// Waiters returns the number of blocked threads.
+func (s *Semaphore) Waiters() int { return len(s.waiters) }
+
+// Count returns the available count.
+func (s *Semaphore) Count() int { return s.count }
+
+// P decrements the semaphore, blocking while it is zero. It returns
+// ErrDestroyed when the semaphore is destroyed while (or before) waiting.
+func (s *Semaphore) P(c *Ctx) error {
+	c.Use(s.k.model.SemOp + s.k.AccountingTax())
+	if s.destroyed {
+		return ErrDestroyed
+	}
+	if s.count > 0 {
+		s.count--
+		return nil
+	}
+	t := c.t
+	s.waiters = append(s.waiters, t)
+	t.sem = s
+	c.block()
+	t.sem = nil
+	if s.destroyed {
+		return ErrDestroyed
+	}
+	return nil
+}
+
+// V increments the semaphore from thread context.
+func (s *Semaphore) V(c *Ctx) {
+	c.Use(s.k.model.SemOp + s.k.AccountingTax())
+	s.signal()
+}
+
+// Signal increments the semaphore from interrupt/kernel context, charging
+// the operation to chargeTo (typically the path being woken).
+func (s *Semaphore) Signal(chargeTo *core.Owner) {
+	s.k.Burn(chargeTo, s.k.model.SemOp+s.k.AccountingTax())
+	s.signal()
+}
+
+func (s *Semaphore) signal() {
+	if s.destroyed {
+		return
+	}
+	for len(s.waiters) > 0 {
+		t := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		t.sem = nil
+		if t.state == threadDead {
+			continue
+		}
+		s.k.makeRunnable(t)
+		return
+	}
+	s.count++
+}
+
+func (s *Semaphore) removeWaiter(t *Thread) {
+	for i, w := range s.waiters {
+		if w == t {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Destroy tears the semaphore down, unblocking all waiters (they observe
+// ErrDestroyed). Idempotent.
+func (s *Semaphore) Destroy() {
+	if s.destroyed {
+		return
+	}
+	s.owner.Untrack(core.TrackSemaphores, &s.node)
+	s.release()
+}
+
+// ReleaseOwned implements core.Tracked.
+func (s *Semaphore) ReleaseOwned(kill bool) { s.release() }
+
+func (s *Semaphore) release() {
+	if s.destroyed {
+		return
+	}
+	s.destroyed = true
+	waiters := s.waiters
+	s.waiters = nil
+	for _, t := range waiters {
+		t.sem = nil
+		if t.state != threadDead {
+			s.k.makeRunnable(t)
+		}
+	}
+	if !s.owner.Dead() {
+		s.owner.RefundSemaphore()
+		s.owner.RefundKmem(semKmem)
+	}
+}
+
+// KEvent is an Escort event (§3.2): "Events allow modules to fork new
+// threads that start executing a given function after a specified delay."
+// A Repeat interval re-arms the event after each firing — the TCP master
+// event uses this.
+type KEvent struct {
+	k        *Kernel
+	owner    *core.Owner
+	name     string
+	fn       Fn
+	ev       *sim.Event
+	node     lib.Node
+	repeat   sim.Cycles
+	nextAt   sim.Cycles
+	canceled bool
+	firings  uint64
+}
+
+// RegisterEvent arms an event owned by owner: after delay cycles a new
+// thread owned by owner runs fn. repeat > 0 re-arms with that interval.
+func (k *Kernel) RegisterEvent(owner *core.Owner, name string, delay, repeat sim.Cycles, fn Fn) *KEvent {
+	e := &KEvent{k: k, owner: owner, name: name, fn: fn, repeat: repeat}
+	e.node.Value = e
+	owner.ChargeEvent()
+	owner.ChargeKmem(eventKmem)
+	owner.Track(core.TrackEvents, &e.node)
+	k.Burn(owner, k.model.EventOp+k.AccountingTax())
+	e.nextAt = k.eng.Now() + delay
+	e.arm()
+	return e
+}
+
+// arm schedules the next firing at the absolute target time, so periodic
+// events do not drift by their own processing cost.
+func (e *KEvent) arm() {
+	e.ev = e.k.eng.AtTime(e.nextAt, e.fire)
+}
+
+func (e *KEvent) fire() {
+	if e.canceled || e.owner.Dead() {
+		return
+	}
+	e.firings++
+	// Re-arm BEFORE doing the work: firing spawns a thread, whose cost
+	// advances the clock and can reach the next period inside this very
+	// call (nested interrupt). Arming afterwards would let the nested
+	// firing arm as well — exponential event multiplication. Missed
+	// periods are skipped (fire late once), the softclock policy.
+	if e.repeat > 0 {
+		e.nextAt += e.repeat
+		if now := e.k.eng.Now(); e.nextAt <= now {
+			e.nextAt = now + e.repeat
+		}
+		e.arm()
+	}
+	e.k.Burn(e.owner, e.k.model.EventOp)
+	e.k.Spawn(e.owner, fmt.Sprintf("ev:%s", e.name), e.fn, SpawnOpts{})
+	if e.repeat == 0 {
+		e.owner.Untrack(core.TrackEvents, &e.node)
+		e.retire()
+	}
+}
+
+// Firings returns how many times the event has fired.
+func (e *KEvent) Firings() uint64 { return e.firings }
+
+// Cancel disarms the event. Idempotent.
+func (e *KEvent) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.owner.Untrack(core.TrackEvents, &e.node)
+	e.retire()
+}
+
+// ReleaseOwned implements core.Tracked.
+func (e *KEvent) ReleaseOwned(kill bool) { e.retire() }
+
+func (e *KEvent) retire() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.ev != nil {
+		e.k.eng.Cancel(e.ev)
+	}
+	if !e.owner.Dead() {
+		e.owner.RefundEvent()
+		e.owner.RefundKmem(eventKmem)
+	}
+}

@@ -1,0 +1,110 @@
+package lib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attrs is the attribute set passed to pathCreate (§2.2): invariants for
+// the path such as the peer's address and port, the document root, or the
+// trust class of the source subnet. Modules read the attributes they
+// understand and ignore the rest.
+type Attrs map[string]any
+
+// Standard attribute keys used by the modules in this repository.
+const (
+	AttrLocalPort  = "tcp.localPort"
+	AttrRemoteIP   = "ip.remote"
+	AttrRemotePort = "tcp.remotePort"
+	AttrLocalIP    = "ip.local"
+	AttrTrustClass = "policy.trustClass" // "trusted" or "untrusted"
+	AttrDocRoot    = "http.docRoot"
+	AttrDevice     = "eth.device"
+	AttrPassive    = "tcp.passive"
+	AttrParentPath = "tcp.parentPath"
+	AttrQoSRateBps = "qos.rateBps"
+)
+
+// Clone returns a shallow copy, so path creation can extend the caller's
+// attributes without mutating them.
+func (a Attrs) Clone() Attrs {
+	out := make(Attrs, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// String returns attributes under key as a string; ok is false when absent
+// or of another type.
+func (a Attrs) String(key string) (string, bool) {
+	v, ok := a[key].(string)
+	return v, ok
+}
+
+// Int returns attributes under key as an int.
+func (a Attrs) Int(key string) (int, bool) {
+	v, ok := a[key].(int)
+	return v, ok
+}
+
+// Uint32 returns attributes under key as a uint32.
+func (a Attrs) Uint32(key string) (uint32, bool) {
+	v, ok := a[key].(uint32)
+	return v, ok
+}
+
+// Bool returns attributes under key as a bool (absent reads as false).
+func (a Attrs) Bool(key string) bool {
+	v, _ := a[key].(bool)
+	return v
+}
+
+// Format renders the set deterministically for logs and tests.
+func (a Attrs) Format() string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", k, a[k])
+	}
+	return b.String()
+}
+
+// Participant is a participant address: the (host, port) naming used by
+// Scout's network modules to identify an endpoint of a path.
+type Participant struct {
+	Host uint32 // IPv4 address in host byte order
+	Port uint16
+}
+
+// Key packs the participant into a hash key.
+func (p Participant) Key() uint64 {
+	return uint64(p.Host)<<16 | uint64(p.Port)
+}
+
+// String renders dotted-quad:port.
+func (p Participant) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d",
+		byte(p.Host>>24), byte(p.Host>>16), byte(p.Host>>8), byte(p.Host), p.Port)
+}
+
+// IPv4 assembles a host-order IPv4 address from octets.
+func IPv4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// ConnKey uniquely identifies a TCP connection (the demux key): local and
+// remote participant pair folded into one value.
+func ConnKey(localIP uint32, localPort uint16, remoteIP uint32, remotePort uint16) uint64 {
+	h := uint64(localIP)*0x9E3779B1 ^ uint64(remoteIP)
+	h = h*0x9E3779B97F4A7C15 ^ uint64(localPort)<<16 ^ uint64(remotePort)
+	return h
+}

@@ -1,0 +1,131 @@
+package lib
+
+// Heap is the heaps library Escort maps into every protection domain: a
+// min-heap with stable handles supporting O(log n) update and removal,
+// the shape timer queues and deadline schedulers need.
+type Heap struct {
+	items []*HeapItem
+	less  func(a, b any) bool
+}
+
+// HeapItem is a stable handle to a heap entry.
+type HeapItem struct {
+	Value any
+	idx   int
+}
+
+// InHeap reports whether the item is currently linked.
+func (it *HeapItem) InHeap() bool { return it.idx >= 0 }
+
+// NewHeap returns a heap ordered by less.
+func NewHeap(less func(a, b any) bool) *Heap {
+	if less == nil {
+		panic("lib: heap needs an ordering")
+	}
+	return &Heap{less: less}
+}
+
+// Len returns the number of entries.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Push inserts a value and returns its handle.
+func (h *Heap) Push(v any) *HeapItem {
+	it := &HeapItem{Value: v, idx: len(h.items)}
+	h.items = append(h.items, it)
+	h.up(it.idx)
+	return it
+}
+
+// Peek returns the minimum entry without removing it.
+func (h *Heap) Peek() (*HeapItem, bool) {
+	if len(h.items) == 0 {
+		return nil, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the minimum entry.
+func (h *Heap) Pop() (*HeapItem, bool) {
+	if len(h.items) == 0 {
+		return nil, false
+	}
+	it := h.items[0]
+	h.removeAt(0)
+	return it, true
+}
+
+// Remove deletes an entry by handle; it reports whether the entry was
+// still in the heap.
+func (h *Heap) Remove(it *HeapItem) bool {
+	if it.idx < 0 || it.idx >= len(h.items) || h.items[it.idx] != it {
+		return false
+	}
+	h.removeAt(it.idx)
+	return true
+}
+
+// Fix re-establishes ordering after an entry's value changed in place.
+func (h *Heap) Fix(it *HeapItem) {
+	if it.idx < 0 {
+		return
+	}
+	if !h.down(it.idx) {
+		h.up(it.idx)
+	}
+}
+
+func (h *Heap) removeAt(i int) {
+	n := len(h.items) - 1
+	h.items[i].idx = -1
+	if i != n {
+		h.items[i] = h.items[n]
+		h.items[i].idx = i
+	}
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if i < n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+func (h *Heap) cmp(i, j int) bool { return h.less(h.items[i].Value, h.items[j].Value) }
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].idx = i
+	h.items[j].idx = j
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.cmp(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) bool {
+	start := i
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.cmp(right, left) {
+			least = right
+		}
+		if !h.cmp(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+	return i > start
+}

@@ -1,0 +1,207 @@
+package lib
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func intHeap() *Heap {
+	return NewHeap(func(a, b any) bool { return a.(int) < b.(int) })
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := intHeap()
+	for _, v := range []int{5, 3, 8, 1, 9, 2} {
+		h.Push(v)
+	}
+	var got []int
+	for {
+		it, ok := h.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, it.Value.(int))
+	}
+	if !sort.IntsAreSorted(got) || len(got) != 6 {
+		t.Fatalf("pop order %v", got)
+	}
+}
+
+func TestHeapPeek(t *testing.T) {
+	h := intHeap()
+	if _, ok := h.Peek(); ok {
+		t.Fatal("peek on empty heap")
+	}
+	h.Push(7)
+	h.Push(3)
+	if it, _ := h.Peek(); it.Value.(int) != 3 {
+		t.Fatal("peek not minimum")
+	}
+	if h.Len() != 2 {
+		t.Fatal("peek consumed")
+	}
+}
+
+func TestHeapRemoveByHandle(t *testing.T) {
+	h := intHeap()
+	items := make([]*HeapItem, 0, 10)
+	for i := 0; i < 10; i++ {
+		items = append(items, h.Push(i))
+	}
+	if !h.Remove(items[5]) {
+		t.Fatal("remove failed")
+	}
+	if h.Remove(items[5]) {
+		t.Fatal("double remove succeeded")
+	}
+	if items[5].InHeap() {
+		t.Fatal("removed item reports InHeap")
+	}
+	var got []int
+	for {
+		it, ok := h.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, it.Value.(int))
+	}
+	for _, v := range got {
+		if v == 5 {
+			t.Fatal("removed value popped")
+		}
+	}
+	if len(got) != 9 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+type mutableKey struct{ k int }
+
+func TestHeapFixAfterMutation(t *testing.T) {
+	h := NewHeap(func(a, b any) bool { return a.(*mutableKey).k < b.(*mutableKey).k })
+	a := &mutableKey{k: 1}
+	b := &mutableKey{k: 2}
+	ia := h.Push(a)
+	h.Push(b)
+	a.k = 10
+	h.Fix(ia)
+	if it, _ := h.Peek(); it.Value.(*mutableKey) != b {
+		t.Fatal("Fix did not reorder after key increase")
+	}
+	a.k = 0
+	h.Fix(ia)
+	if it, _ := h.Peek(); it.Value.(*mutableKey) != a {
+		t.Fatal("Fix did not reorder after key decrease")
+	}
+}
+
+// TestHeapMatchesSortProperty: any push/pop/remove interleaving pops in
+// sorted order among surviving values.
+func TestHeapMatchesSortProperty(t *testing.T) {
+	f := func(vals []int16, removeIdx []uint8) bool {
+		h := intHeap()
+		handles := make([]*HeapItem, 0, len(vals))
+		counts := map[int]int{}
+		for _, v := range vals {
+			handles = append(handles, h.Push(int(v)))
+			counts[int(v)]++
+		}
+		for _, ri := range removeIdx {
+			if len(handles) == 0 {
+				break
+			}
+			it := handles[int(ri)%len(handles)]
+			if h.Remove(it) {
+				counts[it.Value.(int)]--
+			}
+		}
+		prev := -1 << 20
+		n := 0
+		for {
+			it, ok := h.Pop()
+			if !ok {
+				break
+			}
+			v := it.Value.(int)
+			if v < prev {
+				return false
+			}
+			prev = v
+			counts[v]--
+			n++
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type testClock struct{ now sim.Cycles }
+
+func (c *testClock) Now() sim.Cycles { return c.now }
+
+func TestFormatCycles(t *testing.T) {
+	cases := map[sim.Cycles]string{
+		50:                           "50cyc",
+		3 * sim.CyclesPerMicrosecond: "3.0µs",
+		2 * sim.CyclesPerMillisecond: "2.000ms",
+		3 * sim.CyclesPerSecond:      "3.000s",
+	}
+	for c, want := range cases {
+		if got := FormatCycles(c); got != want {
+			t.Errorf("FormatCycles(%d) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if Ms(2) != 2*sim.CyclesPerMillisecond || Us(5) != 5*sim.CyclesPerMicrosecond || Sec(1) != sim.CyclesPerSecond {
+		t.Fatal("unit conversions wrong")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	clk := &testClock{now: 100}
+	sw := NewStopwatch(clk)
+	clk.now = 350
+	if sw.Elapsed() != 250 {
+		t.Fatalf("elapsed = %d", sw.Elapsed())
+	}
+	sw.Reset()
+	if sw.Elapsed() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}
+
+func TestRateMeterConverges(t *testing.T) {
+	clk := &testClock{}
+	rm := NewRateMeter(clk, 0.1)
+	// 100 events/second: one every 3M cycles.
+	for i := 0; i < 200; i++ {
+		clk.now += sim.CyclesPerSecond / 100
+		rm.Tick()
+	}
+	if r := rm.Rate(); r < 90 || r > 110 {
+		t.Fatalf("rate = %.1f, want ~100", r)
+	}
+	// Zero-dt tick must not divide by zero.
+	rm.Tick()
+}
+
+func TestRateMeterBadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad alpha did not panic")
+		}
+	}()
+	NewRateMeter(&testClock{}, 0)
+}

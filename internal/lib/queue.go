@@ -1,0 +1,68 @@
+package lib
+
+import "errors"
+
+// ErrQueueFull is returned by Queue.Enqueue when the queue is at capacity.
+// Path source queues are bounded so that a flood cannot consume unbounded
+// memory before the path's thread runs — overflow is dropped at the edge,
+// charged to no one, which is itself part of the defense story.
+var ErrQueueFull = errors.New("lib: queue full")
+
+// Queue is a bounded FIFO ring buffer. The zero value is unusable; use
+// NewQueue. Paths carry four of these (Figure 6): input and output at each
+// end.
+type Queue struct {
+	items []any
+	head  int
+	count int
+}
+
+// NewQueue returns a queue holding at most capacity items.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		panic("lib: queue capacity must be positive")
+	}
+	return &Queue{items: make([]any, capacity)}
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return q.count }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.items) }
+
+// Enqueue appends v, or returns ErrQueueFull.
+func (q *Queue) Enqueue(v any) error {
+	if q.count == len(q.items) {
+		return ErrQueueFull
+	}
+	q.items[(q.head+q.count)%len(q.items)] = v
+	q.count++
+	return nil
+}
+
+// Dequeue removes and returns the oldest item; ok is false when empty.
+func (q *Queue) Dequeue() (v any, ok bool) {
+	if q.count == 0 {
+		return nil, false
+	}
+	v = q.items[q.head]
+	q.items[q.head] = nil
+	q.head = (q.head + 1) % len(q.items)
+	q.count--
+	return v, true
+}
+
+// Flush empties the queue, calling fn (if non-nil) on each dropped item so
+// owners can release per-item resources.
+func (q *Queue) Flush(fn func(any)) {
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			return
+		}
+		if fn != nil {
+			fn(v)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package lib
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// The time library: conversions between the virtual cycle clock and
+// human units, and a monotonic stopwatch. (Escort's library list in
+// §2.3 includes a time library; modules use it for timeouts and rate
+// computations without touching the engine directly.)
+
+// Ms converts milliseconds to cycles.
+func Ms(ms uint64) sim.Cycles { return sim.Cycles(ms) * sim.CyclesPerMillisecond }
+
+// Us converts microseconds to cycles.
+func Us(us uint64) sim.Cycles { return sim.Cycles(us) * sim.CyclesPerMicrosecond }
+
+// Sec converts seconds to cycles.
+func Sec(s uint64) sim.Cycles { return sim.Cycles(s) * sim.CyclesPerSecond }
+
+// FormatCycles renders a cycle count with an adaptive unit.
+func FormatCycles(c sim.Cycles) string {
+	switch {
+	case c >= sim.CyclesPerSecond:
+		return fmt.Sprintf("%.3fs", c.Seconds())
+	case c >= sim.CyclesPerMillisecond:
+		return fmt.Sprintf("%.3fms", c.Milliseconds())
+	case c >= sim.CyclesPerMicrosecond:
+		return fmt.Sprintf("%.1fµs", float64(c)/float64(sim.CyclesPerMicrosecond))
+	default:
+		return fmt.Sprintf("%dcyc", uint64(c))
+	}
+}
+
+// Clock abstracts a monotonic now() source (the engine, or a fake in
+// tests).
+type Clock interface {
+	Now() sim.Cycles
+}
+
+// Stopwatch measures elapsed virtual time.
+type Stopwatch struct {
+	clk   Clock
+	start sim.Cycles
+}
+
+// NewStopwatch starts a stopwatch on the given clock.
+func NewStopwatch(clk Clock) *Stopwatch {
+	return &Stopwatch{clk: clk, start: clk.Now()}
+}
+
+// Elapsed returns cycles since start or the last Reset.
+func (s *Stopwatch) Elapsed() sim.Cycles { return s.clk.Now() - s.start }
+
+// Reset restarts the stopwatch.
+func (s *Stopwatch) Reset() { s.start = s.clk.Now() }
+
+// RateMeter computes an exponentially-weighted events-per-second rate,
+// used by modules that must make rate-based policy decisions (e.g. a
+// listener watching its SYN arrival rate).
+type RateMeter struct {
+	clk    Clock
+	last   sim.Cycles
+	rate   float64 // events per second, smoothed
+	alpha  float64
+	primed bool
+}
+
+// NewRateMeter returns a meter with the given smoothing factor in
+// (0, 1]; higher alpha weighs recent arrivals more.
+func NewRateMeter(clk Clock, alpha float64) *RateMeter {
+	if alpha <= 0 || alpha > 1 {
+		panic("lib: rate meter alpha out of range")
+	}
+	return &RateMeter{clk: clk, alpha: alpha}
+}
+
+// Tick records one event and returns the smoothed rate.
+func (r *RateMeter) Tick() float64 {
+	now := r.clk.Now()
+	if !r.primed {
+		r.primed = true
+		r.last = now
+		return r.rate
+	}
+	dt := now - r.last
+	r.last = now
+	if dt == 0 {
+		return r.rate
+	}
+	inst := 1.0 / dt.Seconds()
+	r.rate = r.alpha*inst + (1-r.alpha)*r.rate
+	return r.rate
+}
+
+// Rate returns the current smoothed rate.
+func (r *RateMeter) Rate() float64 { return r.rate }

@@ -1,0 +1,188 @@
+// Package msg implements Escort's message library: the user-level
+// facility (mapped into every protection domain) for manipulating
+// network messages held in IOBuffers. It provides header push/strip
+// without copying via head/tail offsets into a shared backing, slices
+// that share the backing under a user-level reference count (so each
+// protection domain needs at most one kernel lock per IOBuffer), and
+// transparent re-allocation when the library has lost write permission
+// to a locked buffer.
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// msgKmem is the kernel-memory charge for one message descriptor.
+const msgKmem = 64
+
+// DefaultHeadroom leaves room for the Ethernet+IP+TCP headers to be
+// pushed without copying.
+const DefaultHeadroom = 128
+
+// backing is the shared storage under one or more messages.
+type backing struct {
+	data  []byte
+	refs  int
+	owner *core.Owner // charged for the storage bytes
+}
+
+// NetInfo is per-message network metadata filled in by lower stages as
+// they strip headers, so upper stages (TCP checksum verification, the
+// passive path learning a SYN's source) can still see the addressing.
+type NetInfo struct {
+	SrcMAC, DstMAC uint64
+	SrcIP, DstIP   uint32
+}
+
+// Msg is a network message: a window [head, tail) onto a shared backing.
+type Msg struct {
+	b     *backing
+	head  int
+	tail  int
+	owner *core.Owner
+	freed bool
+
+	// Net carries addressing metadata between stages; slices inherit it.
+	Net NetInfo
+}
+
+// New allocates a message with the given headroom and payload capacity,
+// charged to owner. The payload region starts empty; use Append.
+func New(owner *core.Owner, headroom, capacity int) *Msg {
+	if headroom < 0 || capacity < 0 {
+		panic("msg: negative size")
+	}
+	b := &backing{data: make([]byte, headroom+capacity), refs: 1, owner: owner}
+	owner.ChargeKmem(uint64(len(b.data)) + msgKmem)
+	return &Msg{b: b, head: headroom, tail: headroom, owner: owner}
+}
+
+// FromBytes builds a message holding a copy of data with DefaultHeadroom.
+func FromBytes(owner *core.Owner, data []byte) *Msg {
+	m := New(owner, DefaultHeadroom, len(data))
+	m.Append(data)
+	return m
+}
+
+// Len returns the message length in bytes.
+func (m *Msg) Len() int { return m.tail - m.head }
+
+// Bytes returns the message contents. The slice aliases the backing; it
+// is valid until the message is freed.
+func (m *Msg) Bytes() []byte { return m.b.data[m.head:m.tail] }
+
+// Owner returns the owner charged for this message descriptor.
+func (m *Msg) Owner() *core.Owner { return m.owner }
+
+func (m *Msg) check(op string) {
+	if m.freed {
+		panic(fmt.Sprintf("msg: %s on freed message", op))
+	}
+}
+
+// Push prepends n bytes of header space and returns the slice to fill
+// in. When headroom is insufficient or the backing is shared (locked by
+// another reference — the lost-write-permission case), the library
+// transparently reallocates.
+func (m *Msg) Push(n int) []byte {
+	m.check("Push")
+	if n < 0 {
+		panic("msg: negative push")
+	}
+	if m.head < n || m.b.refs > 1 {
+		m.realloc(n+DefaultHeadroom, 0)
+	}
+	m.head -= n
+	return m.b.data[m.head : m.head+n]
+}
+
+// Pop strips n bytes of header and returns them. It panics when the
+// message is shorter than n — protocol code must length-check first.
+func (m *Msg) Pop(n int) []byte {
+	m.check("Pop")
+	if n < 0 || n > m.Len() {
+		panic(fmt.Sprintf("msg: pop %d from %d-byte message", n, m.Len()))
+	}
+	h := m.b.data[m.head : m.head+n]
+	m.head += n
+	return h
+}
+
+// Trim drops the message's tail to length n (e.g. removing padding).
+func (m *Msg) Trim(n int) {
+	m.check("Trim")
+	if n < 0 || n > m.Len() {
+		panic(fmt.Sprintf("msg: trim %d of %d-byte message", n, m.Len()))
+	}
+	m.tail = m.head + n
+}
+
+// Append adds payload bytes at the tail, reallocating when the tail room
+// is insufficient or the backing is shared.
+func (m *Msg) Append(p []byte) {
+	m.check("Append")
+	if m.tail+len(p) > len(m.b.data) || m.b.refs > 1 {
+		m.realloc(m.head, len(p)+256)
+	}
+	copy(m.b.data[m.tail:], p)
+	m.tail += len(p)
+}
+
+// realloc moves the contents into a fresh backing with the requested
+// head and tail slack, releasing the old reference.
+func (m *Msg) realloc(headroom, tailroom int) {
+	cur := m.Bytes()
+	nb := &backing{data: make([]byte, headroom+len(cur)+tailroom), refs: 1, owner: m.owner}
+	m.owner.ChargeKmem(uint64(len(nb.data)))
+	copy(nb.data[headroom:], cur)
+	m.releaseBacking()
+	m.b = nb
+	m.head = headroom
+	m.tail = headroom + len(cur)
+}
+
+// Slice returns a new message sharing the backing, covering the byte
+// range [off, off+n) of this message — the zero-copy path TCP uses to
+// segment a response. The slice is charged to chargeTo (the descriptor
+// only; the backing stays charged to its allocator).
+func (m *Msg) Slice(chargeTo *core.Owner, off, n int) *Msg {
+	m.check("Slice")
+	if off < 0 || n < 0 || off+n > m.Len() {
+		panic(fmt.Sprintf("msg: slice [%d,%d) of %d-byte message", off, off+n, m.Len()))
+	}
+	m.b.refs++
+	chargeTo.ChargeKmem(msgKmem)
+	return &Msg{b: m.b, head: m.head + off, tail: m.head + off + n, owner: chargeTo, Net: m.Net}
+}
+
+// Dup returns a reference to the whole message (refcount++).
+func (m *Msg) Dup(chargeTo *core.Owner) *Msg {
+	return m.Slice(chargeTo, 0, m.Len())
+}
+
+// Free drops this reference; the backing's bytes are refunded when the
+// last reference goes.
+func (m *Msg) Free() {
+	if m.freed {
+		panic("msg: double free")
+	}
+	m.freed = true
+	if !m.owner.Dead() {
+		m.owner.RefundKmem(msgKmem)
+	}
+	m.releaseBacking()
+}
+
+func (m *Msg) releaseBacking() {
+	m.b.refs--
+	if m.b.refs == 0 {
+		if !m.b.owner.Dead() {
+			m.b.owner.RefundKmem(uint64(len(m.b.data)))
+		}
+	}
+}
+
+// Refs returns the backing's reference count (for tests).
+func (m *Msg) Refs() int { return m.b.refs }

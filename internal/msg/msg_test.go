@@ -1,0 +1,198 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func owner() *core.Owner { return core.NewOwner("p", core.PathOwner) }
+
+func TestPushPopRoundTrip(t *testing.T) {
+	o := owner()
+	m := FromBytes(o, []byte("payload"))
+	hdr := m.Push(4)
+	copy(hdr, "HDR:")
+	if m.Len() != 11 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if !bytes.Equal(m.Bytes(), []byte("HDR:payload")) {
+		t.Fatalf("bytes = %q", m.Bytes())
+	}
+	got := m.Pop(4)
+	if !bytes.Equal(got, []byte("HDR:")) {
+		t.Fatalf("popped %q", got)
+	}
+	if !bytes.Equal(m.Bytes(), []byte("payload")) {
+		t.Fatalf("after pop: %q", m.Bytes())
+	}
+	m.Free()
+	if o.Counters.Kmem != 0 {
+		t.Fatalf("kmem leaked: %d", o.Counters.Kmem)
+	}
+}
+
+func TestPushBeyondHeadroomReallocates(t *testing.T) {
+	o := owner()
+	m := New(o, 2, 8)
+	m.Append([]byte("abc"))
+	h := m.Push(10) // exceeds the 2-byte headroom
+	copy(h, "0123456789")
+	if !bytes.Equal(m.Bytes(), []byte("0123456789abc")) {
+		t.Fatalf("bytes = %q", m.Bytes())
+	}
+	m.Free()
+	if o.Counters.Kmem != 0 {
+		t.Fatal("kmem leaked after realloc")
+	}
+}
+
+func TestPopTooMuchPanics(t *testing.T) {
+	m := FromBytes(owner(), []byte("ab"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized pop did not panic")
+		}
+	}()
+	m.Pop(3)
+}
+
+func TestTrim(t *testing.T) {
+	m := FromBytes(owner(), []byte("abcdef"))
+	m.Trim(3)
+	if !bytes.Equal(m.Bytes(), []byte("abc")) {
+		t.Fatalf("bytes = %q", m.Bytes())
+	}
+}
+
+func TestSliceSharesBacking(t *testing.T) {
+	o := owner()
+	o2 := core.NewOwner("q", core.PathOwner)
+	m := FromBytes(o, []byte("0123456789"))
+	s := m.Slice(o2, 2, 5)
+	if !bytes.Equal(s.Bytes(), []byte("23456")) {
+		t.Fatalf("slice = %q", s.Bytes())
+	}
+	if m.Refs() != 2 {
+		t.Fatalf("refs = %d", m.Refs())
+	}
+	// Slice mutation via Push must not corrupt the original (copy-on-
+	// write when shared).
+	h := s.Push(2)
+	copy(h, "XX")
+	if !bytes.Equal(m.Bytes(), []byte("0123456789")) {
+		t.Fatalf("original corrupted: %q", m.Bytes())
+	}
+	s.Free()
+	m.Free()
+	if o.Counters.Kmem != 0 || o2.Counters.Kmem != 0 {
+		t.Fatalf("kmem leaked: %d %d", o.Counters.Kmem, o2.Counters.Kmem)
+	}
+}
+
+func TestAppendOnSharedBackingCopies(t *testing.T) {
+	o := owner()
+	m := FromBytes(o, []byte("abc"))
+	d := m.Dup(o)
+	m.Append([]byte("XYZ"))
+	if !bytes.Equal(d.Bytes(), []byte("abc")) {
+		t.Fatalf("dup sees appended data: %q", d.Bytes())
+	}
+	if !bytes.Equal(m.Bytes(), []byte("abcXYZ")) {
+		t.Fatalf("append lost: %q", m.Bytes())
+	}
+	d.Free()
+	m.Free()
+}
+
+func TestFreeOrderIndependence(t *testing.T) {
+	o := owner()
+	m := FromBytes(o, []byte("data"))
+	s1 := m.Slice(o, 0, 2)
+	s2 := m.Slice(o, 2, 2)
+	m.Free() // original freed first; slices must stay valid
+	if !bytes.Equal(s1.Bytes(), []byte("da")) || !bytes.Equal(s2.Bytes(), []byte("ta")) {
+		t.Fatal("slices invalidated by original free")
+	}
+	s1.Free()
+	s2.Free()
+	if o.Counters.Kmem != 0 {
+		t.Fatalf("kmem leaked: %d", o.Counters.Kmem)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	m := FromBytes(owner(), []byte("x"))
+	m.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	m.Free()
+}
+
+// TestHeaderStackProperty: pushing N headers then popping them yields the
+// original payload regardless of sizes — the invariant the protocol
+// stack depends on.
+func TestHeaderStackProperty(t *testing.T) {
+	f := func(payload []byte, hdrs []uint8) bool {
+		o := owner()
+		m := FromBytes(o, payload)
+		var pushed [][]byte
+		for i, hn := range hdrs {
+			n := int(hn%40) + 1
+			h := m.Push(n)
+			for j := range h {
+				h[j] = byte(i)
+			}
+			cp := make([]byte, n)
+			copy(cp, h)
+			pushed = append(pushed, cp)
+		}
+		for i := len(pushed) - 1; i >= 0; i-- {
+			got := m.Pop(len(pushed[i]))
+			if !bytes.Equal(got, pushed[i]) {
+				return false
+			}
+		}
+		ok := bytes.Equal(m.Bytes(), payload)
+		m.Free()
+		return ok && o.Counters.Kmem == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKmemAlwaysBalances: arbitrary slice/free interleavings leave no
+// residual kmem charge.
+func TestKmemAlwaysBalances(t *testing.T) {
+	f := func(ops []uint8) bool {
+		o := owner()
+		root := FromBytes(o, bytes.Repeat([]byte("x"), 100))
+		live := []*Msg{root}
+		for _, op := range ops {
+			switch {
+			case op%3 == 0 && len(live) > 0:
+				src := live[int(op)%len(live)]
+				if src.Len() > 1 {
+					live = append(live, src.Slice(o, 0, src.Len()/2))
+				}
+			case len(live) > 0:
+				i := int(op) % len(live)
+				live[i].Free()
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, m := range live {
+			m.Free()
+		}
+		return o.Counters.Kmem == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

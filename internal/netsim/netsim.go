@@ -1,0 +1,249 @@
+// Package netsim simulates the experimental network of Figure 7: a
+// 100 Mbps Ethernet hub connecting the web server, the QoS receiver and
+// the SYN attacker, and a store-and-forward switch carrying the client
+// and CGI-attacker stations, bridged onto the hub. Frames serialize at
+// link speed (the dominant network effect at these document sizes) and
+// experience propagation delay; the hub is a single shared medium, the
+// switch gives each port its own full-duplex link.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MAC is a 48-bit Ethernet address in the low bits.
+type MAC uint64
+
+// Broadcast is the all-ones Ethernet broadcast address.
+const Broadcast MAC = 0xFFFFFFFFFFFF
+
+// String renders the address in colon-hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
+}
+
+// Frame is a raw Ethernet frame (header included in Data).
+type Frame struct {
+	Dst, Src MAC
+	Data     []byte
+}
+
+// MaxFrame is the Ethernet maximum frame size (1500 MTU + 14 header).
+const MaxFrame = 1514
+
+// Attacher is anything a NIC can attach to (hub or switch).
+type Attacher interface {
+	Attach(n *NIC)
+}
+
+// Segment is the transmission interface a NIC sends through; attaching
+// to a hub binds the hub itself, attaching to a switch binds a per-port
+// segment.
+type Segment interface {
+	Send(src *NIC, f Frame)
+}
+
+// NIC is a simulated network interface. Rx runs as the attached node's
+// interrupt handler, inside the simulation event that delivers the
+// frame.
+type NIC struct {
+	Name string
+	Mac  MAC
+	seg  Segment
+
+	// Rx is invoked for each frame addressed to this NIC (or broadcast).
+	Rx func(f Frame)
+
+	// Counters.
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	TxDropped          uint64
+
+	promisc bool
+}
+
+// NewNIC creates a NIC with the given name and address.
+func NewNIC(name string, mac MAC) *NIC {
+	return &NIC{Name: name, Mac: mac}
+}
+
+// Send transmits a frame onto the attached segment. Oversized frames are
+// dropped (and counted), as the hardware would.
+func (n *NIC) Send(f Frame) {
+	if n.seg == nil {
+		panic("netsim: send on detached NIC " + n.Name)
+	}
+	if len(f.Data) > MaxFrame {
+		n.TxDropped++
+		return
+	}
+	n.TxFrames++
+	n.TxBytes += uint64(len(f.Data))
+	n.seg.Send(n, f)
+}
+
+func (n *NIC) deliver(f Frame) {
+	if f.Dst != n.Mac && f.Dst != Broadcast && !n.promisc {
+		return
+	}
+	n.RxFrames++
+	n.RxBytes += uint64(len(f.Data))
+	if n.Rx != nil {
+		n.Rx(f)
+	}
+}
+
+// medium models one serialized transmission resource: a half-duplex
+// shared wire (hub) or one direction of a switch port.
+type medium struct {
+	eng        *sim.Engine
+	cyclesPer8 sim.Cycles // cycles per byte (8 bits)
+	prop       sim.Cycles
+	busyUntil  sim.Cycles
+}
+
+func newMedium(eng *sim.Engine, bitsPerSec uint64, prop sim.Cycles) *medium {
+	if bitsPerSec == 0 {
+		panic("netsim: zero bandwidth")
+	}
+	cyclesPerByte := sim.Cycles(uint64(sim.CyclesPerSecond) * 8 / bitsPerSec)
+	if cyclesPerByte == 0 {
+		cyclesPerByte = 1
+	}
+	return &medium{eng: eng, cyclesPer8: cyclesPerByte, prop: prop}
+}
+
+// transmit schedules deliver at the time the frame finishes arriving.
+func (m *medium) transmit(size int, deliver func()) {
+	now := m.eng.Now()
+	start := m.busyUntil
+	if start < now {
+		start = now
+	}
+	txTime := sim.Cycles(size) * m.cyclesPer8
+	m.busyUntil = start + txTime
+	m.eng.AtTime(m.busyUntil+m.prop, deliver)
+}
+
+// Hub is a shared-medium repeater: every frame occupies the single
+// 100 Mbps wire and reaches every attached NIC except the sender.
+type Hub struct {
+	eng  *sim.Engine
+	med  *medium
+	nics []*NIC
+}
+
+// NewHub returns a hub with the given bandwidth and propagation delay.
+func NewHub(eng *sim.Engine, bitsPerSec uint64, prop sim.Cycles) *Hub {
+	return &Hub{eng: eng, med: newMedium(eng, bitsPerSec, prop)}
+}
+
+// Attach implements Segment.
+func (h *Hub) Attach(n *NIC) {
+	h.nics = append(h.nics, n)
+	n.seg = h
+}
+
+// Send implements Segment.
+func (h *Hub) Send(src *NIC, f Frame) {
+	h.med.transmit(len(f.Data), func() {
+		for _, n := range h.nics {
+			if n != src {
+				n.deliver(f)
+			}
+		}
+	})
+}
+
+// Switch is a store-and-forward learning switch: each port is a
+// full-duplex link with its own serialization in each direction.
+type Switch struct {
+	eng   *sim.Engine
+	bps   uint64
+	prop  sim.Cycles
+	ports []*swPort
+	table map[MAC]*swPort
+}
+
+type swPort struct {
+	nic     *NIC
+	toNIC   *medium // switch -> station
+	fromNIC *medium // station -> switch
+	sw      *Switch
+}
+
+// NewSwitch returns a switch whose ports run at the given speed.
+func NewSwitch(eng *sim.Engine, bitsPerSec uint64, prop sim.Cycles) *Switch {
+	return &Switch{eng: eng, bps: bitsPerSec, prop: prop, table: make(map[MAC]*swPort)}
+}
+
+// Attach implements Segment.
+func (s *Switch) Attach(n *NIC) {
+	p := &swPort{
+		nic:     n,
+		toNIC:   newMedium(s.eng, s.bps, s.prop),
+		fromNIC: newMedium(s.eng, s.bps, s.prop),
+		sw:      s,
+	}
+	s.ports = append(s.ports, p)
+	n.seg = portSegment{p}
+}
+
+type portSegment struct{ p *swPort }
+
+// Send implements Segment: station -> switch, then forward.
+func (ps portSegment) Send(src *NIC, f Frame) {
+	p := ps.p
+	p.fromNIC.transmit(len(f.Data), func() {
+		p.sw.forward(p, f)
+	})
+}
+
+func (s *Switch) forward(in *swPort, f Frame) {
+	s.table[f.Src] = in
+	if f.Dst != Broadcast {
+		if out, ok := s.table[f.Dst]; ok {
+			if out != in {
+				out.toNIC.transmit(len(f.Data), func() { out.nic.deliver(f) })
+			}
+			return
+		}
+	}
+	// Flood unknown destinations and broadcasts.
+	for _, out := range s.ports {
+		if out == in {
+			continue
+		}
+		out := out
+		out.toNIC.transmit(len(f.Data), func() { out.nic.deliver(f) })
+	}
+}
+
+// Bridge glues two segments together (the switch uplink into the hub in
+// Figure 7). It forwards every frame from one side to the other; with a
+// single bridge in the topology no loops can form.
+type Bridge struct {
+	a, b *NIC
+}
+
+// NewBridge creates the two bridge NICs and attaches them.
+func NewBridge(name string, segA, segB Attacher, macA, macB MAC) *Bridge {
+	br := &Bridge{
+		a: NewNIC(name+":a", macA),
+		b: NewNIC(name+":b", macB),
+	}
+	br.a.SetPromiscuous()
+	br.b.SetPromiscuous()
+	segA.Attach(br.a)
+	segB.Attach(br.b)
+	br.a.Rx = func(f Frame) { br.b.Send(f) }
+	br.b.Rx = func(f Frame) { br.a.Send(f) }
+	return br
+}
+
+// SetPromiscuous makes the NIC receive every frame on its segment;
+// bridges need frames not addressed to them.
+func (n *NIC) SetPromiscuous() { n.promisc = true }

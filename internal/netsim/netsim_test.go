@@ -1,0 +1,241 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+const mbps100 = 100_000_000
+
+func TestHubDeliversToAllButSender(t *testing.T) {
+	eng := sim.New()
+	hub := NewHub(eng, mbps100, 1000)
+	var got [3][]Frame
+	nics := make([]*NIC, 3)
+	for i := range nics {
+		i := i
+		nics[i] = NewNIC("n", MAC(i+1))
+		nics[i].Rx = func(f Frame) { got[i] = append(got[i], f) }
+		hub.Attach(nics[i])
+	}
+	nics[0].Send(Frame{Dst: Broadcast, Src: 1, Data: make([]byte, 100)})
+	eng.Drain(1 << 40)
+	if len(got[0]) != 0 {
+		t.Fatal("sender received its own frame")
+	}
+	if len(got[1]) != 1 || len(got[2]) != 1 {
+		t.Fatalf("delivery counts: %d %d", len(got[1]), len(got[2]))
+	}
+}
+
+func TestUnicastFiltering(t *testing.T) {
+	eng := sim.New()
+	hub := NewHub(eng, mbps100, 1000)
+	a, b, c := NewNIC("a", 1), NewNIC("b", 2), NewNIC("c", 3)
+	var bGot, cGot int
+	b.Rx = func(Frame) { bGot++ }
+	c.Rx = func(Frame) { cGot++ }
+	hub.Attach(a)
+	hub.Attach(b)
+	hub.Attach(c)
+	a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, 64)})
+	eng.Drain(1 << 40)
+	if bGot != 1 || cGot != 0 {
+		t.Fatalf("b=%d c=%d", bGot, cGot)
+	}
+	if b.RxBytes != 64 || a.TxBytes != 64 {
+		t.Fatalf("byte counters: tx=%d rx=%d", a.TxBytes, b.RxBytes)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	// 1514 bytes at 100 Mbps on a 300 MHz clock: 1514*24 cycles + prop.
+	eng := sim.New()
+	hub := NewHub(eng, mbps100, 3000)
+	a, b := NewNIC("a", 1), NewNIC("b", 2)
+	var arrival sim.Cycles
+	b.Rx = func(Frame) { arrival = eng.Now() }
+	hub.Attach(a)
+	hub.Attach(b)
+	a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, 1514)})
+	eng.Drain(1 << 40)
+	want := sim.Cycles(1514*24 + 3000)
+	if arrival != want {
+		t.Fatalf("arrival = %d, want %d", arrival, want)
+	}
+}
+
+func TestSharedMediumSerializesBackToBack(t *testing.T) {
+	eng := sim.New()
+	hub := NewHub(eng, mbps100, 0)
+	a, b := NewNIC("a", 1), NewNIC("b", 2)
+	var arrivals []sim.Cycles
+	b.Rx = func(Frame) { arrivals = append(arrivals, eng.Now()) }
+	hub.Attach(a)
+	hub.Attach(b)
+	a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, 1000)})
+	a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, 1000)})
+	eng.Drain(1 << 40)
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[1]-arrivals[0] != 1000*24 {
+		t.Fatalf("spacing = %d, want one serialization time (24000)", arrivals[1]-arrivals[0])
+	}
+}
+
+func TestOversizedFrameDropped(t *testing.T) {
+	eng := sim.New()
+	hub := NewHub(eng, mbps100, 0)
+	a, b := NewNIC("a", 1), NewNIC("b", 2)
+	got := 0
+	b.Rx = func(Frame) { got++ }
+	hub.Attach(a)
+	hub.Attach(b)
+	a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, MaxFrame+1)})
+	eng.Drain(1 << 40)
+	if got != 0 || a.TxDropped != 1 {
+		t.Fatalf("got=%d dropped=%d", got, a.TxDropped)
+	}
+}
+
+func TestSwitchLearnsAndForwards(t *testing.T) {
+	eng := sim.New()
+	sw := NewSwitch(eng, mbps100, 1000)
+	a, b, c := NewNIC("a", 1), NewNIC("b", 2), NewNIC("c", 3)
+	var bGot, cGot int
+	b.Rx = func(Frame) { bGot++ }
+	c.Rx = func(Frame) { cGot++ }
+	sw.Attach(a)
+	sw.Attach(b)
+	sw.Attach(c)
+	// Unknown destination: flooded, but NIC filtering keeps c clean.
+	a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, 64)})
+	eng.Drain(1 << 40)
+	if bGot != 1 {
+		t.Fatalf("bGot = %d", bGot)
+	}
+	// b replies; switch has learned b and a.
+	b.Send(Frame{Dst: 1, Src: 2, Data: make([]byte, 64)})
+	eng.Drain(1 << 40)
+	// Now a->b is forwarded only to b's port.
+	a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, 64)})
+	eng.Drain(1 << 40)
+	if bGot != 2 || cGot != 0 {
+		t.Fatalf("bGot=%d cGot=%d", bGot, cGot)
+	}
+}
+
+func TestSwitchPortsAreIndependent(t *testing.T) {
+	// Two flows to different ports do not serialize against each other.
+	eng := sim.New()
+	sw := NewSwitch(eng, mbps100, 0)
+	a, b, c, d := NewNIC("a", 1), NewNIC("b", 2), NewNIC("c", 3), NewNIC("d", 4)
+	var bAt, dAt sim.Cycles
+	b.Rx = func(Frame) { bAt = eng.Now() }
+	d.Rx = func(Frame) { dAt = eng.Now() }
+	for _, n := range []*NIC{a, b, c, d} {
+		sw.Attach(n)
+	}
+	// Teach the switch all addresses.
+	for _, n := range []*NIC{a, b, c, d} {
+		n.Send(Frame{Dst: Broadcast, Src: n.Mac, Data: make([]byte, 1)})
+	}
+	eng.Drain(1 << 40)
+	start := eng.Now()
+	a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, 1000)})
+	c.Send(Frame{Dst: 4, Src: 3, Data: make([]byte, 1000)})
+	eng.Drain(1 << 40)
+	if bAt-start != dAt-start {
+		t.Fatalf("independent ports serialized: b at +%d, d at +%d", bAt-start, dAt-start)
+	}
+}
+
+func TestBridgeConnectsSegments(t *testing.T) {
+	eng := sim.New()
+	hub := NewHub(eng, mbps100, 100)
+	sw := NewSwitch(eng, mbps100, 100)
+	server := NewNIC("server", 10)
+	client := NewNIC("client", 20)
+	var serverGot, clientGot int
+	server.Rx = func(Frame) { serverGot++ }
+	client.Rx = func(Frame) { clientGot++ }
+	hub.Attach(server)
+	sw.Attach(client)
+	NewBridge("uplink", hub, sw, 100, 101)
+
+	client.Send(Frame{Dst: 10, Src: 20, Data: make([]byte, 64)})
+	eng.Drain(1 << 40)
+	if serverGot != 1 {
+		t.Fatalf("server got %d frames across bridge", serverGot)
+	}
+	server.Send(Frame{Dst: 20, Src: 10, Data: make([]byte, 64)})
+	eng.Drain(1 << 40)
+	if clientGot != 1 {
+		t.Fatalf("client got %d frames across bridge", clientGot)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("pending events = %d; bridge loop?", eng.Pending())
+	}
+}
+
+func TestMACString(t *testing.T) {
+	if MAC(0x0A0B0C0D0E0F).String() != "0a:0b:0c:0d:0e:0f" {
+		t.Fatalf("MAC string = %s", MAC(0x0A0B0C0D0E0F).String())
+	}
+}
+
+// TestFrameConservationProperty: for arbitrary unicast traffic between
+// attached stations, every frame sent is delivered exactly once (no
+// duplication or loss in hub, switch, or bridge).
+func TestFrameConservationProperty(t *testing.T) {
+	type rxCount struct{ n int }
+	run := func(sends []uint8) bool {
+		eng := sim.New()
+		hub := NewHub(eng, mbps100, 100)
+		sw := NewSwitch(eng, mbps100, 100)
+		NewBridge("uplink", hub, sw, 0xFE, 0xFF)
+		nics := make([]*NIC, 6)
+		counts := make([]rxCount, 6)
+		for i := range nics {
+			i := i
+			nics[i] = NewNIC("n", MAC(i+1))
+			nics[i].Rx = func(Frame) { counts[i].n++ }
+			if i < 3 {
+				hub.Attach(nics[i])
+			} else {
+				sw.Attach(nics[i])
+			}
+		}
+		// Teach the switch every address first.
+		for _, n := range nics {
+			n.Send(Frame{Dst: Broadcast, Src: n.Mac, Data: make([]byte, 20)})
+		}
+		eng.Drain(1 << 40)
+		for i := range counts {
+			counts[i].n = 0
+		}
+		sent := make([]int, 6)
+		for _, s := range sends {
+			from := int(s) % 6
+			to := int(s/6) % 6
+			if from == to {
+				continue
+			}
+			nics[from].Send(Frame{Dst: MAC(to + 1), Src: MAC(from + 1), Data: make([]byte, 64)})
+			sent[to]++
+		}
+		eng.Drain(1 << 40)
+		for i := range counts {
+			if counts[i].n != sent[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

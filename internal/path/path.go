@@ -1,0 +1,607 @@
+// Package path implements Scout's path abstraction (§2.2, §3.1) with
+// Escort's extensions: the path is both the logical I/O channel through
+// the module graph and the owner to which all of its resources are
+// charged. A path is created incrementally (each module's open function
+// names the next module), identified incrementally at demux time, and
+// destroyed either orderly (pathDestroy: module destructors run, in
+// initialization order) or summarily (pathKill: every resource across
+// every protection domain is reclaimed without running destructors —
+// the containment primitive measured in Table 2).
+package path
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/kernel"
+	"repro/internal/lib"
+	"repro/internal/module"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Path kernel-memory footprints.
+const (
+	pathKmem    = 1024
+	inQueueCap  = 128
+	numQueues   = 4
+	qWork       = 0 // inbound + control work queue (network end)
+	workerCount = 1
+	maxPathLen  = 32 // bound on the incremental open walk
+)
+
+// Errors returned by path operations.
+var (
+	ErrPathDead  = errors.New("path: path destroyed")
+	ErrQueueFull = errors.New("path: input queue full")
+	ErrNoEdge    = errors.New("path: modules not connected in graph")
+)
+
+type workItem struct {
+	m       *msg.Msg
+	ctlIdx  int
+	ctl     func(ctx *kernel.Ctx, st module.Stage)
+	destroy bool
+}
+
+type domHook struct {
+	d  *domain.Domain
+	id int
+}
+
+// StageRec pairs a graph node with the stage the module contributed.
+type StageRec struct {
+	Node  *module.Node
+	Stage module.Stage
+}
+
+// Path is the path object (Figure 6): the Owner structure is its first
+// element, followed by the allowed protection-domain crossings, the
+// stage list, queues, thread pool, and the reference count that delays
+// pathDestroy (but never pathKill).
+type Path struct {
+	Owner core.Owner
+
+	name    string
+	mgr     *Manager
+	allowed *lib.Hash
+	stages  []StageRec
+	handles []*stageHandle
+	q       [numQueues]*lib.Queue
+	workSem *kernel.Semaphore
+	refCnt  int
+
+	alive          bool
+	pendingDestroy bool
+	staticKmem     uint64 // path struct + crossings hash charge
+	domHooks       []domHook
+
+	// Drops counts inbound messages rejected because the input queue was
+	// full — the flood backstop.
+	Drops uint64
+
+	// Delivered counts inbound messages processed by the thread pool.
+	Delivered uint64
+}
+
+// PathName implements module.PathRef.
+func (p *Path) PathName() string { return p.name }
+
+// PathOwner implements module.PathRef.
+func (p *Path) PathOwner() *core.Owner { return &p.Owner }
+
+// Alive implements module.PathRef.
+func (p *Path) Alive() bool { return p.alive }
+
+// Stages returns the path's stage records.
+func (p *Path) Stages() []StageRec { return p.stages }
+
+// StageAt returns the stage at index i.
+func (p *Path) StageAt(i int) module.Stage { return p.stages[i].Stage }
+
+// Handle returns the stage handle at index i.
+func (p *Path) Handle(i int) module.StageHandle { return p.handles[i] }
+
+// FindStage implements module.PathRef.
+func (p *Path) FindStage(name string) (int, bool) {
+	for i, rec := range p.stages {
+		if rec.Node.Name() == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Spawn implements module.PathRef: a thread owned by the path with its
+// allowed-crossings table (the CGI handler of §4.1.2 runs this way).
+func (p *Path) Spawn(name string, fn func(ctx *kernel.Ctx)) {
+	if !p.alive {
+		return
+	}
+	p.mgr.k.Spawn(&p.Owner, name, fn, SpawnOptsForPath(p))
+}
+
+// RefCnt returns the current reference count.
+func (p *Path) RefCnt() int { return p.refCnt }
+
+// Ref takes a reference, delaying pathDestroy.
+func (p *Path) Ref() { p.refCnt++ }
+
+// Unref drops a reference; if a destroy was pending and this was the
+// last reference, the orderly teardown proceeds now.
+func (p *Path) Unref(ctx *kernel.Ctx) {
+	if p.refCnt <= 0 {
+		panic("path: Unref below zero")
+	}
+	p.refCnt--
+	if p.refCnt == 0 && p.pendingDestroy && p.alive {
+		p.mgr.Destroy(ctx, p)
+	}
+}
+
+// Domains returns the distinct protection domains the path crosses, in
+// stage order.
+func (p *Path) Domains() []*domain.Domain {
+	var out []*domain.Domain
+	seen := map[domain.ID]bool{}
+	for _, rec := range p.stages {
+		d := rec.Node.Domain()
+		if !seen[d.ID()] {
+			seen[d.ID()] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// EnqueueIn implements module.PathRef: hand an inbound message to the
+// path from interrupt context. The enqueue and wakeup costs are charged
+// to the path — part of the per-datagram cost visible in the SYN-attack
+// experiment.
+func (p *Path) EnqueueIn(m *msg.Msg) error {
+	if !p.alive {
+		m.Free()
+		return ErrPathDead
+	}
+	k := p.mgr.k
+	k.Burn(&p.Owner, k.Model().QueueOp)
+	if err := p.q[qWork].Enqueue(&workItem{m: m}); err != nil {
+		p.Drops++
+		m.Free()
+		return ErrQueueFull
+	}
+	p.workSem.Signal(&p.Owner)
+	return nil
+}
+
+// EnqueueControl implements module.PathRef: run fn on the path's thread
+// in the domain of stage idx. TCP timeout processing arrives this way,
+// which is how its cycles land on the connection's path (Table 1).
+func (p *Path) EnqueueControl(idx int, fn func(ctx *kernel.Ctx, st module.Stage)) error {
+	if !p.alive {
+		return ErrPathDead
+	}
+	if idx < 0 || idx >= len(p.stages) {
+		panic(fmt.Sprintf("path: control stage index %d out of range", idx))
+	}
+	k := p.mgr.k
+	k.Burn(&p.Owner, k.Model().QueueOp)
+	if err := p.q[qWork].Enqueue(&workItem{ctlIdx: idx, ctl: fn}); err != nil {
+		p.Drops++
+		return ErrQueueFull
+	}
+	p.workSem.Signal(&p.Owner)
+	return nil
+}
+
+// RequestDestroy schedules an orderly pathDestroy from the path's own
+// worker thread at top level (outside any domain crossing). Module code
+// (TCP connection teardown) uses this because it runs nested inside
+// crossings where a direct destroy would deadlock on itself.
+func (p *Path) RequestDestroy() {
+	if !p.alive {
+		return
+	}
+	if err := p.q[qWork].Enqueue(&workItem{destroy: true}); err != nil {
+		return
+	}
+	p.workSem.Signal(&p.Owner)
+}
+
+// worker is the path thread-pool body: wait for work, process it moving
+// messages through the stages.
+func (p *Path) worker(ctx *kernel.Ctx) {
+	for {
+		if err := p.workSem.P(ctx); err != nil {
+			return // semaphore destroyed with the path
+		}
+		v, ok := p.q[qWork].Dequeue()
+		if !ok {
+			continue
+		}
+		item := v.(*workItem)
+		switch {
+		case item.destroy:
+			p.mgr.Destroy(ctx, p)
+			return
+		case item.m != nil:
+			p.Delivered++
+			_ = p.deliverFrom(ctx, len(p.stages)-1, module.Up, item.m)
+			item.m.Free()
+		case item.ctl != nil:
+			rec := p.stages[item.ctlIdx]
+			ctx.Cross(rec.Node.Domain().ID(), func() {
+				item.ctl(ctx, rec.Stage)
+			})
+		}
+		// One work item per slice: a well-designed Escort thread yields
+		// between units of work, so a backlog (a busy passive path under
+		// heavy connection setup) never trips its own runaway limit.
+		if p.q[qWork].Len() > 0 {
+			ctx.Yield()
+		}
+	}
+}
+
+// deliverFrom moves m through the stages starting at idx in direction
+// dir, crossing protection domains by nested kernel-mediated calls so a
+// six-stage path in the worst-case configuration really performs the
+// paper's per-boundary crossings.
+func (p *Path) deliverFrom(ctx *kernel.Ctx, idx int, dir module.Direction, m *msg.Msg) error {
+	if idx < 0 || idx >= len(p.stages) {
+		return nil
+	}
+	rec := p.stages[idx]
+	var err error
+	ctx.Cross(rec.Node.Domain().ID(), func() {
+		forward, derr := rec.Stage.Deliver(ctx, dir, m)
+		if derr != nil || !forward {
+			err = derr
+			return
+		}
+		next := idx - 1
+		if dir == module.Down {
+			next = idx + 1
+		}
+		err = p.deliverFrom(ctx, next, dir, m)
+	})
+	return err
+}
+
+// stageHandle implements module.StageHandle.
+type stageHandle struct {
+	p   *Path
+	idx int
+}
+
+func (h *stageHandle) Path() module.PathRef { return h.p }
+func (h *stageHandle) Index() int           { return h.idx }
+
+// SendDown injects m below this stage and frees it when the chain ends.
+func (h *stageHandle) SendDown(ctx *kernel.Ctx, m *msg.Msg) error {
+	err := h.p.deliverFrom(ctx, h.idx+1, module.Down, m)
+	m.Free()
+	return err
+}
+
+// SendUp injects m above this stage and frees it when the chain ends.
+func (h *stageHandle) SendUp(ctx *kernel.Ctx, m *msg.Msg) error {
+	err := h.p.deliverFrom(ctx, h.idx-1, module.Up, m)
+	m.Free()
+	return err
+}
+
+func (h *stageHandle) Below() module.Stage {
+	if h.idx+1 >= len(h.p.stages) {
+		return nil
+	}
+	return h.p.stages[h.idx+1].Stage
+}
+
+func (h *stageHandle) Above() module.Stage {
+	if h.idx == 0 {
+		return nil
+	}
+	return h.p.stages[h.idx-1].Stage
+}
+
+// builder implements module.PathBuilder during incremental creation.
+type builder struct {
+	p      *Path
+	node   *module.Node
+	handle *stageHandle
+}
+
+func (b *builder) Kernel() *kernel.Kernel     { return b.p.mgr.k }
+func (b *builder) PathOwner() *core.Owner     { return &b.p.Owner }
+func (b *builder) Node() *module.Node         { return b.node }
+func (b *builder) Handle() module.StageHandle { return b.handle }
+func (b *builder) Stages() []module.Stage {
+	out := make([]module.Stage, len(b.p.stages))
+	for i, rec := range b.p.stages {
+		out[i] = rec.Stage
+	}
+	return out
+}
+
+func (b *builder) NodeAt(i int) *module.Node { return b.p.stages[i].Node }
+
+// Manager creates, identifies (demux), and destroys paths.
+type Manager struct {
+	k       *kernel.Kernel
+	graph   *module.Graph
+	paths   map[*Path]struct{}
+	byOwner map[*core.Owner]*Path
+
+	classifier FrameClassifier
+
+	// DemuxRejects counts messages dropped during demultiplexing.
+	DemuxRejects uint64
+	// PatternHits and PatternMisses count classifier outcomes when a
+	// pattern demultiplexer is installed.
+	PatternHits, PatternMisses uint64
+	// Kills counts pathKill invocations.
+	Kills uint64
+}
+
+// NewManager returns a path manager over the given graph.
+func NewManager(g *module.Graph) *Manager {
+	return &Manager{
+		k:       g.Kernel(),
+		graph:   g,
+		paths:   make(map[*Path]struct{}),
+		byOwner: make(map[*core.Owner]*Path),
+	}
+}
+
+// PathByOwner returns the live path whose owner is o (the containment
+// policy resolves a runaway thread's owner to its path this way).
+func (mgr *Manager) PathByOwner(o *core.Owner) *Path {
+	return mgr.byOwner[o]
+}
+
+// Kernel returns the kernel.
+func (mgr *Manager) Kernel() *kernel.Kernel { return mgr.k }
+
+// Graph returns the module graph.
+func (mgr *Manager) Graph() *module.Graph { return mgr.graph }
+
+// Live returns the number of live paths.
+func (mgr *Manager) Live() int { return len(mgr.paths) }
+
+var _ module.PathFactory = (*Manager)(nil)
+
+// CreatePath implements module.PathFactory: the pathCreate kernel call.
+// The topology is determined incrementally: the kernel invokes the open
+// function (CreateStage) of the starting module, which names the next
+// module, and so on. Creation cost is charged to the calling context
+// (the passive path creating an active path pays for it, as Table 1's
+// passive-path row shows); the new path's objects are charged to the
+// new owner.
+func (mgr *Manager) CreatePath(ctx *kernel.Ctx, name, start string, attrs lib.Attrs) (module.PathRef, error) {
+	p, err := mgr.create(ctx, name, start, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Create is CreatePath returning the concrete type.
+func (mgr *Manager) Create(ctx *kernel.Ctx, name, start string, attrs lib.Attrs) (*Path, error) {
+	return mgr.create(ctx, name, start, attrs)
+}
+
+func (mgr *Manager) create(ctx *kernel.Ctx, name, start string, attrs lib.Attrs) (*Path, error) {
+	k := mgr.k
+	model := k.Model()
+
+	p := &Path{
+		Owner: core.Owner{Name: name, Type: core.PathOwner},
+		name:  name,
+		mgr:   mgr,
+	}
+	k.AdoptOwner(&p.Owner)
+	p.Owner.ChargeKmem(pathKmem)
+	p.staticKmem = pathKmem
+
+	// Creation cost is charged to the path being created: Table 1 shows
+	// the passive path's per-connection share staying small even though
+	// it triggers active-path creation.
+	charge := func(c sim.Cycles) {
+		k.Burn(&p.Owner, c)
+	}
+	_ = ctx
+	charge(model.PathCreate + k.AccountingTax())
+
+	// Incremental open walk, bounded so a miswired graph (a cycle in the
+	// open chain) fails loudly instead of building an endless path.
+	cur := start
+	for {
+		if len(p.stages) >= maxPathLen {
+			mgr.abortCreate(p)
+			return nil, fmt.Errorf("path: open chain exceeded %d modules (cycle?)", maxPathLen)
+		}
+		node, ok := mgr.graph.Node(cur)
+		if !ok {
+			p.Owner.RefundKmem(pathKmem)
+			p.Owner.MarkDead()
+			return nil, fmt.Errorf("path: unknown module %q", cur)
+		}
+		h := &stageHandle{p: p, idx: len(p.stages)}
+		b := &builder{p: p, node: node, handle: h}
+		charge(model.PathOpenPerModule)
+		st, next, err := node.Mod().CreateStage(b, attrs)
+		if err != nil {
+			mgr.abortCreate(p)
+			return nil, fmt.Errorf("path: open %q: %w", cur, err)
+		}
+		p.stages = append(p.stages, StageRec{Node: node, Stage: st})
+		p.handles = append(p.handles, h)
+		if next == "" {
+			break
+		}
+		if !node.ConnectedTo(next) {
+			mgr.abortCreate(p)
+			return nil, fmt.Errorf("%w: %q -> %q", ErrNoEdge, cur, next)
+		}
+		cur = next
+	}
+
+	// Allowed protection-domain crossings: adjacent stage pairs, both
+	// directions (the ICMP example crosses the same domain twice).
+	p.allowed = lib.NewHash(8)
+	for i := 1; i < len(p.stages); i++ {
+		a := p.stages[i-1].Node.Domain().ID()
+		b := p.stages[i].Node.Domain().ID()
+		if a != b {
+			p.allowed.Put(lib.PairKey(uint32(a), uint32(b)), true)
+			p.allowed.Put(lib.PairKey(uint32(b), uint32(a)), true)
+		}
+	}
+	hashKmem := uint64(p.allowed.MemSize())
+	p.Owner.ChargeKmem(hashKmem)
+	p.staticKmem += hashKmem
+
+	for i := range p.q {
+		p.q[i] = lib.NewQueue(inQueueCap)
+	}
+	p.workSem = k.NewSemaphore(&p.Owner, name+":work", 0)
+	for i := 0; i < workerCount; i++ {
+		k.Spawn(&p.Owner, name+":worker", p.worker, SpawnOptsForPath(p))
+	}
+
+	// A destroyed protection domain takes every path crossing it down
+	// with it (§2.4). Hooks are deregistered when the path dies first.
+	for _, d := range p.Domains() {
+		if d.Privileged() {
+			continue
+		}
+		id := d.AddDestroyHook(func() {
+			if p.alive {
+				mgr.Kill(p)
+			}
+		})
+		p.domHooks = append(p.domHooks, domHook{d: d, id: id})
+	}
+
+	p.alive = true
+	mgr.paths[p] = struct{}{}
+	mgr.byOwner[&p.Owner] = p
+	return p, nil
+}
+
+// SpawnOptsForPath builds the spawn options for a thread executing on
+// behalf of path p (exported for the escort assembly's service threads).
+func SpawnOptsForPath(p *Path) kernel.SpawnOpts {
+	return kernel.SpawnOpts{Allowed: p.allowed}
+}
+
+func (mgr *Manager) abortCreate(p *Path) {
+	// Partial path: reclaim what was built, without destructors.
+	mgr.k.DestroyOwner(&p.Owner, true)
+}
+
+// Destroy is pathDestroy: run each module's destructor in the order the
+// stages were initialized (crossing into each module's domain), release
+// the path's heap charges in every crossed domain, then free all kernel
+// resources. A referenced path destroys when the last reference drops.
+func (mgr *Manager) Destroy(ctx *kernel.Ctx, p *Path) {
+	if !p.alive {
+		return
+	}
+	if p.refCnt > 0 {
+		p.pendingDestroy = true
+		return
+	}
+	p.alive = false
+	model := mgr.k.Model()
+	for _, rec := range p.stages {
+		rec := rec
+		charge := func(c sim.Cycles) {
+			if ctx != nil {
+				ctx.Use(c)
+			} else {
+				mgr.k.Burn(mgr.k.KernelOwner(), c)
+			}
+		}
+		charge(model.PathDestroyPerStage)
+		if ctx != nil {
+			ctx.Cross(rec.Node.Domain().ID(), func() {
+				rec.Stage.Destroy(ctx)
+			})
+		} else {
+			rec.Stage.Destroy(nil)
+		}
+	}
+	p.dropDomainHooks()
+	p.drainQueues()
+	p.releaseDomainCharges(false)
+	p.Owner.RefundKmem(p.staticKmem)
+	mgr.k.DestroyOwner(&p.Owner, false)
+	delete(mgr.paths, p)
+	delete(mgr.byOwner, &p.Owner)
+}
+
+// Kill is pathKill: reclaim every resource the path owns, in every
+// protection domain it crosses — device buffers, IPC, IOBuffer locks,
+// threads, heap memory — without invoking destructors and without
+// spending the victim's budget (reclamation is charged to the kernel).
+// It returns the cycles the teardown consumed: the Table 2 measurement.
+func (mgr *Manager) Kill(p *Path) sim.Cycles {
+	if !p.alive {
+		return 0
+	}
+	start := mgr.k.Engine().Now()
+	p.alive = false
+	mgr.Kills++
+	p.dropDomainHooks()
+	p.drainQueues()
+	p.releaseDomainCharges(true)
+	p.Owner.RefundKmem(p.staticKmem)
+	mgr.k.DestroyOwner(&p.Owner, true)
+	delete(mgr.paths, p)
+	delete(mgr.byOwner, &p.Owner)
+	return mgr.k.Engine().Now() - start
+}
+
+// dropDomainHooks deregisters the path's domain destroy hooks.
+func (p *Path) dropDomainHooks() {
+	for _, h := range p.domHooks {
+		if !h.d.Destroyed() {
+			h.d.RemoveDestroyHook(h.id)
+		}
+	}
+	p.domHooks = nil
+}
+
+func (p *Path) drainQueues() {
+	for _, q := range p.q {
+		if q == nil {
+			continue
+		}
+		q.Flush(func(v any) {
+			if item, ok := v.(*workItem); ok && item.m != nil {
+				item.m.Free()
+			}
+		})
+	}
+}
+
+// releaseDomainCharges frees the path's heap objects in every crossed
+// domain. Under pathKill the kernel does the sweep itself (and pays the
+// per-domain visit the paper's Table 2 numbers reflect); under orderly
+// destroy the module destructors have normally done it already and this
+// is a backstop.
+func (p *Path) releaseDomainCharges(kill bool) {
+	k := p.mgr.k
+	model := k.Model()
+	for _, d := range p.Domains() {
+		freed := d.Heap().ReleaseFor(&p.Owner)
+		if kill && !d.Privileged() {
+			k.Burn(k.KernelOwner(), model.PathKillPerDomain)
+		}
+		_ = freed
+	}
+}

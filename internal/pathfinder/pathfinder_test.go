@@ -1,0 +1,240 @@
+package pathfinder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lib"
+	"repro/internal/proto/wire"
+)
+
+var (
+	serverIP = lib.IPv4(10, 0, 0, 1)
+	trusted  = lib.IPv4(10, 0, 1, 5)
+	evil     = lib.IPv4(192, 168, 9, 9)
+)
+
+// tcpFrame builds a raw frame for classification tests.
+func tcpFrame(srcIP, dstIP uint32, srcPort, dstPort uint16, flags byte) []byte {
+	buf := make([]byte, wire.EthLen+wire.IPv4Len+wire.TCPLen)
+	wire.PutEth(buf, wire.Eth{EtherType: wire.EtherTypeIPv4})
+	wire.PutIPv4(buf[wire.EthLen:], wire.IPv4{
+		TotalLen: wire.IPv4Len + wire.TCPLen, TTL: 64, Proto: wire.ProtoTCP,
+		Src: srcIP, Dst: dstIP,
+	})
+	wire.PutTCP(buf[wire.EthLen+wire.IPv4Len:], wire.TCP{
+		SrcPort: srcPort, DstPort: dstPort, Seq: 1, Flags: flags, Window: 100,
+	}, srcIP, dstIP, nil)
+	return buf
+}
+
+func TestCellMatching(t *testing.T) {
+	c := NewCell(2, []byte{0xF0, 0xFF}, []byte{0xAB, 0xCD})
+	if string(c.Value) != string([]byte{0xA0, 0xCD}) {
+		t.Fatalf("value not normalized through mask: %x", c.Value)
+	}
+	frame := []byte{0, 0, 0xA7, 0xCD}
+	if !c.matches(frame) {
+		t.Fatal("masked match failed")
+	}
+	frame[3] = 0xCE
+	if c.matches(frame) {
+		t.Fatal("mismatch accepted")
+	}
+	if c.matches([]byte{0, 0, 0xA7}) {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestConnectionPatternMatchesExactTuple(t *testing.T) {
+	cl := New()
+	p := ConnectionPattern("conn1", "t1", serverIP, 80, trusted, 5000)
+	if err := cl.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := cl.Classify(tcpFrame(trusted, serverIP, 5000, 80, wire.FlagACK)); !ok || got.Target != "t1" {
+		t.Fatalf("exact tuple not matched: %v %v", got, ok)
+	}
+	// Any differing field misses.
+	for _, f := range [][]byte{
+		tcpFrame(trusted, serverIP, 5001, 80, wire.FlagACK),
+		tcpFrame(trusted, serverIP, 5000, 81, wire.FlagACK),
+		tcpFrame(evil, serverIP, 5000, 80, wire.FlagACK),
+		tcpFrame(trusted, lib.IPv4(10, 0, 0, 2), 5000, 80, wire.FlagACK),
+	} {
+		if _, ok := cl.Classify(f); ok {
+			t.Fatal("mismatched tuple classified")
+		}
+	}
+}
+
+func TestListenerPatternTrustSplit(t *testing.T) {
+	cl := New()
+	must(t, cl.Add(ListenerPattern("listen-trusted", "LT", serverIP, 80,
+		lib.IPv4(10, 0, 0, 0), 0xFF000000)))
+	must(t, cl.Add(ListenerPattern("listen-untrusted", "LU", serverIP, 80,
+		0, 0))) // mask 0: matches any source
+
+	// Trusted SYN: both listener patterns match (the untrusted one is a
+	// wildcard); the deployment gives the trusted pattern higher
+	// priority. Reproduce that here.
+	cl2 := New()
+	lt := ListenerPattern("listen-trusted", "LT", serverIP, 80, lib.IPv4(10, 0, 0, 0), 0xFF000000)
+	lt.Priority = 5
+	must(t, cl2.Add(lt))
+	must(t, cl2.Add(ListenerPattern("listen-untrusted", "LU", serverIP, 80, 0, 0)))
+
+	if got, ok := cl2.Classify(tcpFrame(trusted, serverIP, 7000, 80, wire.FlagSYN)); !ok || got.Target != "LT" {
+		t.Fatalf("trusted SYN → %v", got)
+	}
+	if got, ok := cl2.Classify(tcpFrame(evil, serverIP, 7000, 80, wire.FlagSYN)); !ok || got.Target != "LU" {
+		t.Fatalf("untrusted SYN → %v", got)
+	}
+	// SYN-ACK and bare ACK do not match listener patterns.
+	if _, ok := cl2.Classify(tcpFrame(trusted, serverIP, 7000, 80, wire.FlagSYN|wire.FlagACK)); ok {
+		t.Fatal("SYN-ACK matched a listener pattern")
+	}
+	if _, ok := cl2.Classify(tcpFrame(trusted, serverIP, 7000, 80, wire.FlagACK)); ok {
+		t.Fatal("ACK matched a listener pattern")
+	}
+}
+
+func TestConnectionOutranksListener(t *testing.T) {
+	cl := New()
+	must(t, cl.Add(ListenerPattern("listen", "L", serverIP, 80, 0, 0)))
+	must(t, cl.Add(ConnectionPattern("conn", "C", serverIP, 80, trusted, 5000)))
+	// A retransmitted SYN on an existing connection matches both; the
+	// connection pattern must win (priority 10 vs 1).
+	got, ok := cl.Classify(tcpFrame(trusted, serverIP, 5000, 80, wire.FlagSYN))
+	if !ok || got.Target != "C" {
+		t.Fatalf("retransmitted SYN → %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	cl := New()
+	must(t, cl.Add(ConnectionPattern("a", "A", serverIP, 80, trusted, 5000)))
+	must(t, cl.Add(ConnectionPattern("b", "B", serverIP, 80, trusted, 5001)))
+	if !cl.Remove("a") {
+		t.Fatal("remove failed")
+	}
+	if cl.Remove("a") {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := cl.Classify(tcpFrame(trusted, serverIP, 5000, 80, wire.FlagACK)); ok {
+		t.Fatal("removed pattern still matches")
+	}
+	if _, ok := cl.Classify(tcpFrame(trusted, serverIP, 5001, 80, wire.FlagACK)); !ok {
+		t.Fatal("sibling pattern lost on remove")
+	}
+	if cl.Len() != 1 {
+		t.Fatalf("len = %d", cl.Len())
+	}
+}
+
+func TestReplaceByName(t *testing.T) {
+	cl := New()
+	must(t, cl.Add(ConnectionPattern("x", "OLD", serverIP, 80, trusted, 5000)))
+	must(t, cl.Add(ConnectionPattern("x", "NEW", serverIP, 80, trusted, 6000)))
+	if cl.Len() != 1 {
+		t.Fatalf("len = %d after replace", cl.Len())
+	}
+	if _, ok := cl.Classify(tcpFrame(trusted, serverIP, 5000, 80, wire.FlagACK)); ok {
+		t.Fatal("old pattern survives")
+	}
+	if got, ok := cl.Classify(tcpFrame(trusted, serverIP, 6000, 80, wire.FlagACK)); !ok || got.Target != "NEW" {
+		t.Fatal("new pattern missing")
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	cl := New()
+	if err := cl.Add(&Pattern{Name: "empty"}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+}
+
+// TestSharedPrefixScaling: with N connection patterns installed, the
+// matcher work per classification stays bounded (the DAG shares the
+// common prefix), instead of growing linearly as a naive list would.
+func TestSharedPrefixScaling(t *testing.T) {
+	work := func(n int) uint64 {
+		cl := New()
+		for i := 0; i < n; i++ {
+			must(t, cl.Add(ConnectionPattern(
+				string(rune('a'+i%26))+string(rune('0'+i/26)), i,
+				serverIP, 80, trusted, uint16(5000+i))))
+		}
+		cl.CellsEvaluated = 0
+		for i := 0; i < 100; i++ {
+			cl.Classify(tcpFrame(trusted, serverIP, uint16(5000+i%n), 80, wire.FlagACK))
+		}
+		return cl.CellsEvaluated
+	}
+	small, large := work(4), work(256)
+	if large > small*3 {
+		t.Fatalf("matcher work grew from %d to %d with 64x patterns; prefix sharing broken", small, large)
+	}
+}
+
+// TestClassifierAgreesWithLinearScan: property test — the DAG must
+// return the same verdict as brute-force evaluation of every pattern.
+func TestClassifierAgreesWithLinearScan(t *testing.T) {
+	f := func(srcLow uint8, port uint8, flags uint8, which uint8) bool {
+		cl := New()
+		var all []*Pattern
+		add := func(p *Pattern) {
+			if err := cl.Add(p); err == nil {
+				all = append(all, p)
+			}
+		}
+		lt := ListenerPattern("lt", "LT", serverIP, 80, lib.IPv4(10, 0, 0, 0), 0xFF000000)
+		lt.Priority = 5
+		add(lt)
+		add(ListenerPattern("lu", "LU", serverIP, 80, 0, 0))
+		add(ConnectionPattern("c1", "C1", serverIP, 80, lib.IPv4(10, 0, 1, 1), 5000))
+		add(ConnectionPattern("c2", "C2", serverIP, 80, lib.IPv4(192, 168, 0, 7), 6000))
+
+		srcs := []uint32{lib.IPv4(10, 0, 1, 1), lib.IPv4(192, 168, 0, 7), lib.IPv4(172, 16, 0, uint8(srcLow))}
+		ports := []uint16{5000, 6000, uint16(port) + 1}
+		frame := tcpFrame(srcs[int(which)%3], serverIP, ports[int(which/3)%3], 80, flags&0x1F)
+
+		// Brute force.
+		var want *Pattern
+		for _, p := range all {
+			ok := true
+			for _, c := range p.Cells {
+				if !c.matches(frame) {
+					ok = false
+					break
+				}
+			}
+			if ok && (want == nil || p.Priority > want.Priority) {
+				want = p
+			}
+		}
+		got, ok := cl.Classify(frame)
+		if want == nil {
+			return !ok
+		}
+		return ok && got.Target == want.Target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	cl := New()
+	must(t, cl.Add(ConnectionPattern("c", "C", serverIP, 80, trusted, 5000)))
+	if cl.String() == "" {
+		t.Fatal("empty dump")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package pathfinder
+
+import (
+	"encoding/binary"
+
+	"repro/internal/proto/wire"
+)
+
+// Helpers building the patterns the Escort web server needs, over the
+// Ethernet+IPv4+TCP layout of internal/proto/wire.
+
+const (
+	offEtherType = 12
+	offIPProto   = wire.EthLen + 9
+	offIPSrc     = wire.EthLen + 12
+	offIPDst     = wire.EthLen + 16
+	offTCPSrc    = wire.EthLen + wire.IPv4Len + 0
+	offTCPDst    = wire.EthLen + wire.IPv4Len + 2
+	offTCPFlags  = wire.EthLen + wire.IPv4Len + 13
+)
+
+func u16(v uint16) []byte {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	return b[:]
+}
+
+func u32(v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+// ipv4TCPPrefix is the shared prefix every TCP/IPv4 pattern starts with.
+func ipv4TCPPrefix(dstIP uint32) []Cell {
+	return []Cell{
+		NewCell(offEtherType, []byte{0xFF, 0xFF}, u16(wire.EtherTypeIPv4)),
+		NewCell(offIPProto, []byte{0xFF}, []byte{wire.ProtoTCP}),
+		NewCell(offIPDst, []byte{0xFF, 0xFF, 0xFF, 0xFF}, u32(dstIP)),
+	}
+}
+
+// ConnectionPattern matches one established connection's 4-tuple —
+// installed when an active path is created, removed when it closes.
+func ConnectionPattern(name string, target any,
+	localIP uint32, localPort uint16, remoteIP uint32, remotePort uint16) *Pattern {
+	cells := ipv4TCPPrefix(localIP)
+	cells = append(cells,
+		NewCell(offIPSrc, []byte{0xFF, 0xFF, 0xFF, 0xFF}, u32(remoteIP)),
+		NewCell(offTCPSrc, []byte{0xFF, 0xFF}, u16(remotePort)),
+		NewCell(offTCPDst, []byte{0xFF, 0xFF}, u16(localPort)),
+	)
+	return &Pattern{Name: name, Cells: cells, Priority: 10, Target: target}
+}
+
+// ARPPattern matches ARP frames (EtherType only) — the ARP path's
+// pattern in a pattern-demultiplexed configuration.
+func ARPPattern(target any) *Pattern {
+	return &Pattern{
+		Name:     "arp",
+		Cells:    []Cell{NewCell(offEtherType, []byte{0xFF, 0xFF}, u16(wire.EtherTypeARP))},
+		Priority: 1,
+		Target:   target,
+	}
+}
+
+// ClassifyTarget adapts Classify to the path manager's classifier
+// interface: it returns the matched pattern's target.
+func (cl *Classifier) ClassifyTarget(frame []byte) (any, bool) {
+	p, ok := cl.Classify(frame)
+	if !ok {
+		return nil, false
+	}
+	return p.Target, true
+}
+
+// ListenerPattern matches connection-initiation segments (SYN without
+// ACK) for a port, restricted to a source subnet — the trusted and
+// untrusted passive paths each install one with their own prefix. The
+// trust predicate of the module-based demux becomes an explicit masked
+// comparison here, which is exactly the "more liberal trust assumption"
+// the paper wants: no module code runs at classification time.
+func ListenerPattern(name string, target any,
+	localIP uint32, localPort uint16, srcSubnet, srcMask uint32) *Pattern {
+	cells := ipv4TCPPrefix(localIP)
+	cells = append(cells,
+		NewCell(offIPSrc, u32(srcMask), u32(srcSubnet&srcMask)),
+		NewCell(offTCPDst, []byte{0xFF, 0xFF}, u16(localPort)),
+		// SYN set, ACK clear.
+		NewCell(offTCPFlags, []byte{wire.FlagSYN | wire.FlagACK}, []byte{wire.FlagSYN}),
+	)
+	return &Pattern{Name: name, Cells: cells, Priority: 1, Target: target}
+}

@@ -1,0 +1,385 @@
+package tcp
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/module"
+	"repro/internal/msg"
+	"repro/internal/proto/wire"
+	"repro/internal/sim"
+)
+
+// conn is the server-side TCP control block, stored in the active
+// path's TCP stage (path-local state — a stage in the paper's terms).
+type conn struct {
+	m    *Module
+	path module.PathRef
+	h    module.StageHandle
+
+	stageIdx int
+	key      uint64
+	state    int
+
+	localIP, remoteIP     uint32
+	localPort, remotePort uint16
+
+	irs    uint32 // peer initial sequence number
+	rcvNxt uint32
+
+	iss    uint32
+	sndUna uint32
+	sndNxt uint32
+
+	cwnd     int
+	ssthresh int
+	peerWnd  int
+
+	// sendBuf holds the (unsent + unacknowledged) response bytes;
+	// sndBase is the sequence number of its first byte.
+	sendBuf *msg.Msg
+	sndBase uint32
+
+	wantFin   bool
+	finSent   bool
+	finAcked  bool
+	streaming bool
+	finSeq    uint32
+
+	rtoAt      sim.Cycles
+	rto        sim.Cycles // current timeout, doubled per loss (Karn-style backoff)
+	synRecvdAt sim.Cycles
+	listener   *Listener
+	tcbCharged bool
+}
+
+// activeStage is the TCP stage of an active (connection) path.
+type activeStage struct {
+	c *conn
+}
+
+// Deliver implements module.Stage. Upward: run the state machine and
+// forward in-order payload to HTTP. Downward: accept response data from
+// HTTP into the send buffer and pump segments within the window.
+func (s *activeStage) Deliver(ctx *kernel.Ctx, dir module.Direction, mm *msg.Msg) (bool, error) {
+	c := s.c
+	model := c.m.k.Model()
+	if dir == module.Down {
+		// Response data from HTTP: per-byte work is charged at
+		// segmentation (checksum) and transmission (wire copy).
+		ctx.Use(model.PktPerModule)
+		c.queueResponse(ctx, mm)
+		return false, nil
+	}
+	// Inbound segment: header processing plus checksum over the bytes.
+	ctx.Use(model.PktPerModule + sim.Cycles(mm.Len())*model.PerByte)
+	return c.input(ctx, mm)
+}
+
+// Destroy implements module.Stage: the destructor releases the
+// connection's module-level state (conn-table entry, SYN_RECVD slot) —
+// the resources the paper says destructors return to the domain.
+func (s *activeStage) Destroy(*kernel.Ctx) {
+	c := s.c
+	if c.state != StateClosed {
+		c.m.dropConn(c.key)
+	}
+	if c.sendBuf != nil {
+		c.sendBuf.Free()
+		c.sendBuf = nil
+	}
+}
+
+// input processes one inbound segment.
+func (c *conn) input(ctx *kernel.Ctx, mm *msg.Msg) (bool, error) {
+	h, dataOff, err := wire.ParseTCP(mm.Bytes(), mm.Net.SrcIP, mm.Net.DstIP)
+	if err != nil {
+		return false, err
+	}
+	if c.state == StateClosed {
+		return false, nil
+	}
+
+	// Duplicate SYN: the SYN-ACK was lost; resend it.
+	if h.Flags&wire.FlagSYN != 0 && h.Flags&wire.FlagACK == 0 {
+		if c.state == StateSynRcvd {
+			c.sendSynAck(ctx)
+		}
+		return false, nil
+	}
+
+	c.peerWnd = int(h.Window)
+	if h.Flags&wire.FlagACK != 0 {
+		c.handleAck(ctx, h.Ack)
+	}
+
+	payloadLen := mm.Len() - dataOff
+	forward := false
+	if payloadLen > 0 {
+		if h.Seq == c.rcvNxt {
+			c.rcvNxt += uint32(payloadLen)
+			mm.Pop(dataOff)
+			forward = true
+		}
+		// In order or not, acknowledge what we have.
+		c.sendAck(ctx)
+	}
+
+	if h.Flags&wire.FlagFIN != 0 {
+		finSeq := h.Seq + uint32(payloadLen)
+		if finSeq == c.rcvNxt {
+			c.rcvNxt++
+			c.sendAck(ctx)
+			if c.finAcked || c.state == StateFinWait2 {
+				c.finish(ctx)
+			} else {
+				// Peer closed first (simultaneous close); wait for the
+				// ACK of our FIN before finishing.
+				c.state = StateFinWait2
+			}
+		}
+	}
+	return forward, nil
+}
+
+// handleAck advances the send state: SYN-ACK acknowledgment establishes
+// the connection, data acknowledgment opens the congestion window and
+// pumps more segments, FIN acknowledgment completes the close.
+func (c *conn) handleAck(ctx *kernel.Ctx, ack uint32) {
+	if c.state == StateSynRcvd && wire.SeqLEQ(c.iss+1, ack) {
+		c.state = StateEstablished
+		c.sndUna = c.iss + 1
+		c.sndNxt = c.sndUna
+		c.sndBase = c.sndUna
+		c.m.Established++
+		if c.listener != nil {
+			c.listener.SynRecvd--
+			c.listener.syncPattern()
+			c.listener = nil
+		}
+		return
+	}
+	if !wire.SeqLT(c.sndUna, ack) || !wire.SeqLEQ(ack, c.sndNxt) {
+		return // old or absurd ACK
+	}
+	c.sndUna = ack
+	c.rto = c.m.RTO // progress: reset the backoff
+	// Congestion window growth: slow start, then congestion avoidance.
+	if c.cwnd < c.ssthresh {
+		c.cwnd += wire.MSS
+	} else {
+		c.cwnd += wire.MSS * wire.MSS / c.cwnd
+	}
+	if c.cwnd > maxWindow {
+		c.cwnd = maxWindow
+	}
+	if c.finSent && wire.SeqLEQ(c.finSeq+1, ack) {
+		c.finAcked = true
+		if c.state == StateFinWait1 {
+			c.state = StateFinWait2
+		}
+	}
+	c.compact()
+	c.pump(ctx)
+}
+
+// compact drops fully-acknowledged bytes from the front of the send
+// buffer so long-lived streams do not accumulate memory.
+func (c *conn) compact() {
+	if c.sendBuf == nil {
+		return
+	}
+	acked := int(c.sndUna - c.sndBase)
+	if acked < 32*1024 {
+		return
+	}
+	rest := c.sendBuf.Len() - acked
+	nb := msg.New(c.path.PathOwner(), msg.DefaultHeadroom, rest)
+	if rest > 0 {
+		nb.Append(c.sendBuf.Bytes()[acked:])
+	}
+	c.sendBuf.Free()
+	c.sendBuf = nb
+	c.sndBase = c.sndUna
+}
+
+// queueResponse accepts response bytes from HTTP; the server closes
+// after the response (HTTP/1.0), so the FIN follows the last byte.
+func (c *conn) queueResponse(ctx *kernel.Ctx, mm *msg.Msg) {
+	if c.sendBuf == nil {
+		c.sendBuf = mm.Dup(c.path.PathOwner())
+		c.sndBase = c.sndNxt
+	} else {
+		c.sendBuf.Append(mm.Bytes())
+	}
+	if !c.streaming {
+		c.wantFin = true
+	}
+	c.pump(ctx)
+}
+
+// pump transmits as much buffered data as the congestion and peer
+// windows allow, then the FIN.
+func (c *conn) pump(ctx *kernel.Ctx) {
+	if c.state != StateEstablished && c.state != StateFinWait1 {
+		return
+	}
+	window := c.cwnd
+	if c.peerWnd < window {
+		window = c.peerWnd
+	}
+	for {
+		inFlight := int(c.sndNxt - c.sndUna)
+		avail := window - inFlight
+		if avail <= 0 {
+			return
+		}
+		sent := int(c.sndNxt - c.sndBase)
+		var remaining int
+		if c.sendBuf != nil {
+			remaining = c.sendBuf.Len() - sent
+		}
+		if remaining <= 0 {
+			if c.wantFin && !c.finSent {
+				c.finSeq = c.sndNxt
+				c.sendSegment(ctx, wire.FlagFIN|wire.FlagACK, c.sndNxt, nil)
+				c.sndNxt++
+				c.finSent = true
+				c.state = StateFinWait1
+				c.armRTO(ctx)
+			}
+			return
+		}
+		n := remaining
+		if n > wire.MSS {
+			n = wire.MSS
+		}
+		if n > avail {
+			n = avail
+		}
+		seg := c.sendBuf.Slice(c.path.PathOwner(), sent, n)
+		c.sendSegment(ctx, wire.FlagACK|wire.FlagPSH, c.sndNxt, seg)
+		c.sndNxt += uint32(n)
+		c.armRTO(ctx)
+	}
+}
+
+func (c *conn) armRTO(ctx *kernel.Ctx) {
+	if c.rto == 0 {
+		c.rto = c.m.RTO
+	}
+	c.rtoAt = ctx.Now() + c.rto
+}
+
+// retransmit resends one segment from sndUna and backs the window off —
+// the classic loss response.
+func (c *conn) retransmit(ctx *kernel.Ctx) {
+	if c.state == StateClosed || !wire.SeqLT(c.sndUna, c.sndNxt) {
+		return
+	}
+	c.m.Retransmits++
+	// Exponential backoff: a loaded receiver must not be bombarded with
+	// duplicates — the fixed-RTO alternative collapses under load.
+	if c.rto == 0 {
+		c.rto = c.m.RTO
+	}
+	c.rto *= 2
+	if max := 2 * sim.CyclesPerSecond; c.rto > max {
+		c.rto = max
+	}
+	inFlight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = inFlight / 2
+	if c.ssthresh < 2*wire.MSS {
+		c.ssthresh = 2 * wire.MSS
+	}
+	c.cwnd = wire.MSS
+	if c.state == StateSynRcvd {
+		c.sendSynAck(ctx)
+		return
+	}
+	sent := int(c.sndUna - c.sndBase)
+	var remaining int
+	if c.sendBuf != nil {
+		remaining = c.sendBuf.Len() - sent
+	}
+	if remaining > 0 {
+		n := remaining
+		if n > wire.MSS {
+			n = wire.MSS
+		}
+		seg := c.sendBuf.Slice(c.path.PathOwner(), sent, n)
+		c.sendSegment(ctx, wire.FlagACK|wire.FlagPSH, c.sndUna, seg)
+	} else if c.finSent && !c.finAcked {
+		c.sendSegment(ctx, wire.FlagFIN|wire.FlagACK, c.finSeq, nil)
+	}
+	c.armRTO(ctx)
+}
+
+// sendSynAck (re)sends the SYN-ACK and arms its retransmission.
+func (c *conn) sendSynAck(ctx *kernel.Ctx) {
+	if c.state != StateSynRcvd {
+		return
+	}
+	c.sendSegment(ctx, wire.FlagSYN|wire.FlagACK, c.iss, nil)
+	c.sndNxt = c.iss + 1
+	c.armRTO(ctx)
+}
+
+func (c *conn) sendAck(ctx *kernel.Ctx) {
+	c.sendSegment(ctx, wire.FlagACK, c.sndNxt, nil)
+}
+
+// sendSegment pushes a TCP header onto payload (or an empty message)
+// and sends it down the path. payload ownership transfers here.
+func (c *conn) sendSegment(ctx *kernel.Ctx, flags byte, seq uint32, payload *msg.Msg) {
+	model := c.m.k.Model()
+	mm := payload
+	if mm == nil {
+		mm = msg.New(c.path.PathOwner(), msg.DefaultHeadroom, 0)
+	}
+	body := append([]byte(nil), mm.Bytes()...)
+	hdr := mm.Push(wire.TCPLen)
+	wire.PutTCP(hdr, wire.TCP{
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		Seq:     seq,
+		Ack:     c.rcvNxt,
+		Flags:   flags,
+		Window:  advertised,
+	}, c.localIP, c.remoteIP, body)
+	ctx.Use(sim.Cycles(mm.Len()) * model.PerByte)
+	_ = c.h.SendDown(ctx, mm)
+}
+
+// finish completes an orderly close: the connection leaves the demux
+// table and the path destroys itself (running destructors).
+func (c *conn) finish(ctx *kernel.Ctx) {
+	if c.state == StateClosed {
+		return
+	}
+	ctx.Use(c.m.k.Model().TCPConnTeardown)
+	c.state = StateClosed
+	c.m.conns.Delete(c.key)
+	if c.m.Patterns != nil {
+		c.m.Patterns.Remove(connPatternName(c.key))
+	}
+	c.m.Completed++
+	c.path.RequestDestroy()
+}
+
+// abort reaps a half-open connection (SYN_RECVD timeout).
+func (c *conn) abort(ctx *kernel.Ctx) {
+	if c.state != StateSynRcvd {
+		return
+	}
+	c.m.Reaped++
+	c.state = StateClosed
+	c.m.conns.Delete(c.key)
+	if c.m.Patterns != nil {
+		c.m.Patterns.Remove(connPatternName(c.key))
+	}
+	if c.listener != nil {
+		c.listener.SynRecvd--
+		c.listener.syncPattern()
+		c.listener = nil
+	}
+	c.path.RequestDestroy()
+}

@@ -1,0 +1,486 @@
+// Package tcp implements the TCP module of Figure 1: passive paths that
+// field connection-establishment segments for listeners (partitioned by
+// trust class, the SYN-defense mechanism of §4.4.1) and active paths
+// that carry established connections, with a server-side state machine,
+// slow-start/congestion-avoidance sending, and retransmission driven by
+// the TCP master event — whose per-connection timeout processing is
+// charged to the connection's path, exactly as Table 1 describes.
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/lib"
+	"repro/internal/module"
+	"repro/internal/msg"
+	"repro/internal/netsim"
+	"repro/internal/pathfinder"
+	"repro/internal/proto/wire"
+	"repro/internal/sim"
+
+	ethmod "repro/internal/proto/eth"
+)
+
+// Attribute keys the TCP module understands (beyond the lib standard
+// keys).
+const (
+	// AttrTrustMatch (func(uint32) bool) selects which source addresses a
+	// passive path accepts.
+	AttrTrustMatch = "tcp.trustMatch"
+	// AttrSynCap (int) bounds the listener's outstanding SYN_RECVD paths;
+	// excess SYNs are dropped at demux time.
+	AttrSynCap = "tcp.synCap"
+	// AttrActiveStart (string) names the module where active paths begin
+	// their open walk (scsi in the web-server graph).
+	AttrActiveStart = "tcp.activeStart"
+	// AttrActiveExtra (lib.Attrs) is merged into active path attributes.
+	AttrActiveExtra = "tcp.activeExtra"
+	// AttrIRS (uint32) carries the peer's initial sequence number into
+	// active path creation.
+	AttrIRS = "tcp.irs"
+	// AttrListener (*Listener) back-references the accepting listener.
+	AttrListener = "tcp.listener"
+	// AttrStream (bool) marks connections that stream indefinitely: the
+	// server does not close after the first response write.
+	AttrStream = "tcp.stream"
+	// AttrOnAccept (func(module.PathRef)) runs after each active path the
+	// listener creates — the QoS policy reserves scheduler share here.
+	AttrOnAccept = "tcp.onAccept"
+	// AttrTrustSubnet/AttrTrustMask (uint32) express the listener's trust
+	// class as a masked prefix for pattern-based demultiplexing.
+	AttrTrustSubnet = "tcp.trustSubnet"
+	AttrTrustMask   = "tcp.trustMask"
+)
+
+// PatternTable is the pattern-demultiplexer surface the module drives:
+// connection patterns are installed when active paths are created and
+// removed at teardown; a listener's pattern is removed while its
+// SYN_RECVD budget is exhausted (the drop policy as pattern absence).
+type PatternTable interface {
+	Add(*pathfinder.Pattern) error
+	Remove(string) bool
+}
+
+// Connection states (server side).
+const (
+	StateSynRcvd = iota
+	StateEstablished
+	StateFinWait1 // our FIN sent, not yet acknowledged
+	StateFinWait2 // our FIN acknowledged, awaiting peer FIN
+	StateClosed
+)
+
+// Tuning constants. The initial window is one segment (pre-RFC3390
+// TCP, as on the paper's testbed), which is what makes multi-segment
+// documents congestion-control-limited with few parallel clients
+// (Figure 8's 10 KB panel).
+const (
+	initialWindow = 1 * wire.MSS
+	maxWindow     = 64 * 1024
+	advertised    = 64000
+)
+
+// Listener is a passive path's registration: one per (port, trust
+// class). The SynRecvd count lives here — passive-path state the policy
+// consults during demultiplexing.
+type Listener struct {
+	Port       uint16
+	TrustClass string
+	Match      func(srcIP uint32) bool
+	SynCap     int
+
+	path  module.PathRef
+	stage *passiveStage
+
+	// SynRecvd is the number of active paths created by this listener
+	// still in SYN_RECVD state.
+	SynRecvd int
+
+	subnet, mask uint32
+	patInstalled bool
+	mod          *Module
+
+	// OnAccept, when non-nil, runs after each active path is created.
+	OnAccept func(module.PathRef)
+
+	// Accepted and DroppedSyn count demux outcomes for the experiments.
+	Accepted   uint64
+	DroppedSyn uint64
+}
+
+// Path returns the listener's passive path.
+func (l *Listener) Path() module.PathRef { return l.path }
+
+// Module is the TCP module.
+type Module struct {
+	name   string
+	ipName string
+	myIP   uint32
+
+	node    *module.Node
+	factory module.PathFactory
+	k       *kernel.Kernel
+
+	conns     *lib.Hash // ConnKey -> *conn
+	listeners []*Listener
+	iss       uint32
+
+	// Patterns, when non-nil, enables PATHFINDER-style demultiplexing:
+	// the module keeps the table in sync with its connection state.
+	Patterns PatternTable
+
+	// OnOffender, when non-nil, is told the source address of every
+	// connection whose path died abnormally (pathKill): the penalty-box
+	// policy of §4.4.4 feeds on it.
+	OnOffender func(srcIP uint32)
+
+	// RTO is the (fixed) retransmission timeout; SynRcvdTimeout reaps
+	// half-open connections; MasterPeriod is the master event interval.
+	RTO            sim.Cycles
+	SynRcvdTimeout sim.Cycles
+	MasterPeriod   sim.Cycles
+
+	// Counters for the experiment harness.
+	Established uint64
+	Completed   uint64
+	Retransmits uint64
+	Reaped      uint64
+}
+
+// New returns a TCP module for address myIP whose open walk continues
+// at ipName.
+func New(name, ipName string, myIP uint32) *Module {
+	return &Module{
+		name:   name,
+		ipName: ipName,
+		myIP:   myIP,
+		conns:  lib.NewHash(256),
+		RTO:    200 * sim.CyclesPerMillisecond,
+		// Half-open connections persist as on contemporary stacks (~75 s
+		// SYN_RCVD lifetime): under a flood the listener's budget fills
+		// once and stays full, and everything beyond it is dropped at
+		// demux time — the cheap steady state of §4.4.1.
+		SynRcvdTimeout: 75 * sim.CyclesPerSecond,
+		MasterPeriod:   100 * sim.CyclesPerMillisecond,
+	}
+}
+
+// Name implements module.Module.
+func (m *Module) Name() string { return m.name }
+
+// Listeners returns the registered listeners.
+func (m *Module) Listeners() []*Listener { return m.listeners }
+
+// OpenConns returns the number of connections in the demux table.
+func (m *Module) OpenConns() int { return m.conns.Len() }
+
+// Init implements module.Module: arm the TCP master event. The event
+// belongs to the TCP module's protection domain conceptually; it gets a
+// dedicated owner so the ledger shows the paper's "TCP Master Event"
+// row directly (in Table 1 the master event is charged to the domain
+// containing TCP, while per-connection timeout processing is charged to
+// each connection's path).
+func (m *Module) Init(ic *module.InitCtx) error {
+	m.node = ic.Node
+	m.factory = ic.Paths
+	m.k = ic.K
+	masterOwner := m.k.NewOwner("TCP Master Event", core.DomainOwner)
+	m.k.RegisterEvent(masterOwner, "TCP Master Event", m.MasterPeriod, m.MasterPeriod, m.masterTick)
+	return nil
+}
+
+// masterTick scans connections: scanning is charged to the TCP domain,
+// while per-connection timeout *processing* is enqueued onto each
+// connection's path so its cycles are charged there.
+func (m *Module) masterTick(ctx *kernel.Ctx) {
+	model := m.k.Model()
+	ctx.Use(model.TCPMasterEvent)
+	now := ctx.Now()
+	var stale []uint64
+	m.conns.Each(func(key uint64, v any) {
+		ctx.Use(model.TCPTimerPerConn)
+		c := v.(*conn)
+		if !c.path.Alive() {
+			// A live table entry with a dead path means the path was
+			// killed, not destroyed: an abnormal death — an offender.
+			if m.OnOffender != nil && c.state != StateSynRcvd {
+				m.OnOffender(c.remoteIP)
+			}
+			stale = append(stale, key)
+			return
+		}
+		switch {
+		case c.state == StateSynRcvd && now-c.synRecvdAt > m.SynRcvdTimeout:
+			_ = c.path.EnqueueControl(c.stageIdx, func(ctx *kernel.Ctx, _ module.Stage) {
+				c.abort(ctx)
+			})
+		case wire.SeqLT(c.sndUna, c.sndNxt) && now > c.rtoAt:
+			_ = c.path.EnqueueControl(c.stageIdx, func(ctx *kernel.Ctx, _ module.Stage) {
+				c.retransmit(ctx)
+			})
+		}
+	})
+	for _, key := range stale {
+		m.dropConn(key)
+	}
+}
+
+// dropConn removes a table entry whose path died (pathKill bypasses the
+// destructors, so the master sweep reclaims module-level state).
+func (m *Module) dropConn(key uint64) {
+	v, ok := m.conns.Get(key)
+	if !ok {
+		return
+	}
+	c := v.(*conn)
+	m.conns.Delete(key)
+	if m.Patterns != nil {
+		m.Patterns.Remove(connPatternName(key))
+	}
+	if c.state == StateSynRcvd && c.listener != nil {
+		c.listener.SynRecvd--
+		c.listener.syncPattern()
+	}
+	c.state = StateClosed
+}
+
+func connPatternName(key uint64) string {
+	return fmt.Sprintf("conn:%016x", key)
+}
+
+// syncPattern keeps the listener's presence in the pattern table in
+// step with its SYN_RECVD budget: over budget, the pattern disappears
+// and floods die on the (cheap) fallback reject; under budget, it is
+// reinstalled.
+func (l *Listener) syncPattern() {
+	m := l.mod
+	if m == nil || m.Patterns == nil || l.path == nil {
+		return
+	}
+	over := l.SynCap > 0 && l.SynRecvd >= l.SynCap
+	name := "listen:" + l.TrustClass
+	switch {
+	case over && l.patInstalled:
+		m.Patterns.Remove(name)
+		l.patInstalled = false
+	case !over && !l.patInstalled:
+		p := pathfinder.ListenerPattern(name, l.path, m.myIP, l.Port, l.subnet, l.mask)
+		if l.mask != 0 {
+			p.Priority = 5 // a real prefix outranks the wildcard class
+		}
+		if m.Patterns.Add(p) == nil {
+			l.patInstalled = true
+		}
+	}
+}
+
+// CreateStage implements module.Module: a passive stage for listener
+// paths, an active stage (with its connection record) otherwise.
+func (m *Module) CreateStage(pb module.PathBuilder, attrs lib.Attrs) (module.Stage, string, error) {
+	if attrs.Bool(lib.AttrPassive) {
+		port, _ := attrs.Int(lib.AttrLocalPort)
+		trust, _ := attrs.String(lib.AttrTrustClass)
+		match, _ := attrs[AttrTrustMatch].(func(uint32) bool)
+		cap, _ := attrs.Int(AttrSynCap)
+		start, _ := attrs.String(AttrActiveStart)
+		extra, _ := attrs[AttrActiveExtra].(lib.Attrs)
+		onAccept, _ := attrs[AttrOnAccept].(func(module.PathRef))
+		subnet, _ := attrs.Uint32(AttrTrustSubnet)
+		mask, _ := attrs.Uint32(AttrTrustMask)
+		l := &Listener{
+			Port:       uint16(port),
+			TrustClass: trust,
+			Match:      match,
+			SynCap:     cap,
+			OnAccept:   onAccept,
+			subnet:     subnet,
+			mask:       mask,
+			mod:        m,
+		}
+		st := &passiveStage{
+			mod:         m,
+			l:           l,
+			h:           pb.Handle(),
+			activeStart: start,
+			activeExtra: extra,
+		}
+		l.stage = st
+		l.path = pb.Handle().Path()
+		m.listeners = append(m.listeners, l)
+		l.syncPattern()
+		return st, m.ipName, nil
+	}
+
+	remoteIP, _ := attrs.Uint32(lib.AttrRemoteIP)
+	remotePort, _ := attrs.Int(lib.AttrRemotePort)
+	localPort, _ := attrs.Int(lib.AttrLocalPort)
+	irs, _ := attrs.Uint32(AttrIRS)
+	listener, _ := attrs[AttrListener].(*Listener)
+
+	m.iss += 64009
+	c := &conn{
+		m:          m,
+		path:       pb.Handle().Path(),
+		h:          pb.Handle(),
+		stageIdx:   pb.Handle().Index(),
+		state:      StateSynRcvd,
+		localIP:    m.myIP,
+		remoteIP:   remoteIP,
+		localPort:  uint16(localPort),
+		remotePort: uint16(remotePort),
+		irs:        irs,
+		rcvNxt:     irs + 1,
+		iss:        m.iss,
+		sndUna:     m.iss,
+		sndNxt:     m.iss,
+		cwnd:       initialWindow,
+		ssthresh:   maxWindow,
+		peerWnd:    advertised,
+		listener:   listener,
+		streaming:  attrs.Bool(AttrStream),
+		synRecvdAt: pb.Kernel().Engine().Now(),
+	}
+	c.key = lib.ConnKey(c.localIP, c.localPort, c.remoteIP, c.remotePort)
+	m.conns.Put(c.key, c)
+	if m.Patterns != nil {
+		_ = m.Patterns.Add(pathfinder.ConnectionPattern(
+			connPatternName(c.key), c.path,
+			c.localIP, c.localPort, c.remoteIP, c.remotePort))
+	}
+	if listener != nil {
+		listener.SynRecvd++
+		listener.syncPattern()
+	}
+	pb.PathOwner().ChargeKmem(256) // TCB
+	c.tcbCharged = true
+	// Connection setup work (TCB init, sequence selection) belongs to
+	// the connection's own path.
+	m.k.Burn(pb.PathOwner(), m.k.Model().TCPConnSetup)
+	return &activeStage{c: c}, m.ipName, nil
+}
+
+// Demux implements module.Module (§2.2, §4.4.1): established
+// connections resolve through the connection table; SYNs resolve to the
+// listener whose trust class matches the source address — and are
+// dropped right here, as early as possible, when the listener's
+// SYN_RECVD budget is exhausted. Demux is side-effect free.
+func (m *Module) Demux(dc *module.DemuxCtx, mm *msg.Msg) module.Verdict {
+	b := mm.Bytes()
+	if len(b) < wire.EthLen+wire.IPv4Len+wire.TCPLen {
+		return module.Reject("tcp: short segment")
+	}
+	iph := b[wire.EthLen:]
+	srcIP := uint32(iph[12])<<24 | uint32(iph[13])<<16 | uint32(iph[14])<<8 | uint32(iph[15])
+	tcph := b[wire.EthLen+wire.IPv4Len:]
+	srcPort := uint16(tcph[0])<<8 | uint16(tcph[1])
+	dstPort := uint16(tcph[2])<<8 | uint16(tcph[3])
+	flags := tcph[13]
+
+	key := lib.ConnKey(m.myIP, dstPort, srcIP, srcPort)
+	if v, ok := m.conns.Get(key); ok {
+		c := v.(*conn)
+		if c.path.Alive() {
+			return module.Found(c.path)
+		}
+	}
+	if flags&wire.FlagSYN != 0 && flags&wire.FlagACK == 0 {
+		l := m.findListener(dstPort, srcIP)
+		if l == nil {
+			return module.Reject("tcp: no listener")
+		}
+		if l.SynCap > 0 && l.SynRecvd >= l.SynCap {
+			l.DroppedSyn++
+			return module.Reject("tcp: SYN_RECVD budget exhausted")
+		}
+		return module.Found(l.path)
+	}
+	return module.Reject("tcp: no connection")
+}
+
+func (m *Module) findListener(port uint16, srcIP uint32) *Listener {
+	for _, l := range m.listeners {
+		if l.Port != port || !l.path.Alive() {
+			continue
+		}
+		if l.Match == nil || l.Match(srcIP) {
+			return l
+		}
+	}
+	return nil
+}
+
+// passiveStage receives connection-setup segments (§4.3.1's passive
+// path): it accepts SYNs, creates the active path that will serve the
+// connection (charged to the passive path, per Table 1), and hands the
+// handshake continuation to the new path.
+type passiveStage struct {
+	mod         *Module
+	l           *Listener
+	h           module.StageHandle
+	activeStart string
+	activeExtra lib.Attrs
+	serial      uint64
+}
+
+// Deliver implements module.Stage.
+func (s *passiveStage) Deliver(ctx *kernel.Ctx, dir module.Direction, mm *msg.Msg) (bool, error) {
+	m := s.mod
+	model := m.k.Model()
+	ctx.Use(model.PktPerModule + sim.Cycles(mm.Len())*model.PerByte)
+	if dir == module.Down {
+		return true, nil
+	}
+	h, _, err := wire.ParseTCP(mm.Bytes(), mm.Net.SrcIP, mm.Net.DstIP)
+	if err != nil {
+		return false, err
+	}
+	if h.Flags&wire.FlagSYN == 0 || h.Flags&wire.FlagACK != 0 {
+		return false, nil // only connection setup lands here
+	}
+	if s.l.SynCap > 0 && s.l.SynRecvd >= s.l.SynCap {
+		s.l.DroppedSyn++
+		return false, nil
+	}
+	s.serial++
+	attrs := lib.Attrs{
+		lib.AttrRemoteIP:   mm.Net.SrcIP,
+		lib.AttrRemotePort: int(h.SrcPort),
+		lib.AttrLocalPort:  int(s.l.Port),
+		ethmod.AttrPeerMAC: netsim.MAC(mm.Net.SrcMAC),
+		AttrIRS:            h.Seq,
+		AttrListener:       s.l,
+	}
+	for k, v := range s.activeExtra {
+		attrs[k] = v
+	}
+	name := fmt.Sprintf("Active Path %s:%d#%d", s.l.TrustClass, h.SrcPort, s.serial)
+	ap, err := m.factory.CreatePath(ctx, name, s.activeStart, attrs)
+	if err != nil {
+		return false, fmt.Errorf("tcp: active path: %w", err)
+	}
+	s.l.Accepted++
+	if s.l.OnAccept != nil {
+		s.l.OnAccept(ap)
+	}
+	idx, ok := ap.FindStage(m.name)
+	if !ok {
+		return false, fmt.Errorf("tcp: active path lacks a %s stage", m.name)
+	}
+	// The SYN-ACK is sent by the active path's own thread, so its cycles
+	// are charged to the connection.
+	return false, ap.EnqueueControl(idx, func(ctx *kernel.Ctx, st module.Stage) {
+		st.(*activeStage).c.sendSynAck(ctx)
+	})
+}
+
+// Destroy implements module.Stage: deregister the listener.
+func (s *passiveStage) Destroy(*kernel.Ctx) {
+	for i, l := range s.mod.listeners {
+		if l == s.l {
+			s.mod.listeners = append(s.mod.listeners[:i], s.mod.listeners[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package sim provides the deterministic discrete-event engine that drives
+// the Escort simulation. Time is measured in virtual CPU cycles of the
+// simulated server (300 MHz Alpha in the paper). The engine supports the
+// one unusual operation the reproduction depends on: ConsumeCPU, which
+// advances the clock by a given amount of CPU work while firing any events
+// that fall due inside the interval. Because event handlers may themselves
+// call ConsumeCPU (an interrupt handler charging its own cycles), the cost
+// of interrupt processing naturally delays the interrupted computation,
+// exactly as on real hardware.
+package sim
+
+import "fmt"
+
+// Cycles counts virtual CPU cycles. It doubles as the simulation timestamp.
+type Cycles uint64
+
+// CyclesPerSecond is the simulated server clock rate: a 300 MHz AlphaPC
+// 21064, per the paper's experimental setup.
+const CyclesPerSecond Cycles = 300_000_000
+
+// CyclesPerMillisecond is a convenience constant (300k cycles per ms).
+const CyclesPerMillisecond = CyclesPerSecond / 1000
+
+// CyclesPerMicrosecond is a convenience constant (300 cycles per µs).
+const CyclesPerMicrosecond = CyclesPerSecond / 1_000_000
+
+// Seconds converts a cycle count to seconds.
+func (c Cycles) Seconds() float64 { return float64(c) / float64(CyclesPerSecond) }
+
+// Milliseconds converts a cycle count to milliseconds.
+func (c Cycles) Milliseconds() float64 { return float64(c) / float64(CyclesPerMillisecond) }
+
+// Event is a scheduled callback. Events are single-shot; rescheduling is
+// done by the callback re-arming itself.
+type Event struct {
+	at       Cycles
+	seq      uint64 // tie-break so equal-time events fire in schedule order
+	idx      int    // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// At reports the cycle at which the event is (or was) scheduled to fire.
+func (ev *Event) At() Cycles { return ev.at }
+
+// Engine is a single-clock discrete-event simulator. It is not safe for
+// concurrent use; the Escort kernel guarantees only one coroutine touches
+// the engine at a time.
+type Engine struct {
+	now    Cycles
+	queue  eventHeap
+	seq    uint64
+	masked int // >0 while an event handler runs: interrupts are masked
+
+	// IdleSink, when non-nil, receives the cycles spent idle in
+	// AdvanceToNextEvent and AdvanceTo. The kernel points this at the
+	// Idle pseudo-owner so idle time shows up in the ledger (Table 1).
+	IdleSink func(Cycles)
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Pending returns the number of scheduled (uncanceled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// After schedules fn to run delay cycles from now and returns the event so
+// it can be canceled.
+func (e *Engine) After(delay Cycles, fn func()) *Event {
+	return e.AtTime(e.now+delay, fn)
+}
+
+// AtTime schedules fn at an absolute cycle count. Scheduling in the past is
+// a programming error and panics: the simulation would silently reorder
+// history otherwise.
+func (e *Engine) AtTime(at Cycles, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, idx: -1}
+	e.seq++
+	e.queue.push(ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already fired or was canceled).
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.canceled || ev.idx < 0 {
+		return false
+	}
+	ev.canceled = true
+	e.queue.remove(ev)
+	return true
+}
+
+// ConsumeCPU advances the clock by c cycles of CPU work. Events falling
+// due within the interval fire at their scheduled times; a handler's own
+// CPU consumption pushes the remaining work later — the interrupted
+// computation still gets its full c cycles, it just finishes later.
+//
+// Handlers run with interrupts masked (as on real hardware): CPU they
+// consume advances the clock without firing further events; anything
+// that became due meanwhile fires, late, once the outer level resumes.
+// This bounds the interrupt nesting at one level and keeps a periodic
+// event whose processing exceeds its period from recursing forever.
+func (e *Engine) ConsumeCPU(c Cycles) {
+	if e.masked > 0 {
+		e.now += c
+		return
+	}
+	remaining := c
+	for remaining > 0 {
+		ev := e.queue.peek()
+		if ev == nil || ev.at >= e.now+remaining {
+			e.now += remaining
+			return
+		}
+		if ev.at > e.now {
+			step := ev.at - e.now
+			e.now = ev.at
+			remaining -= step
+		}
+		e.fire() // overdue events fire immediately, without advancing
+	}
+}
+
+// AdvanceToNextEvent is used when the CPU is idle: it jumps the clock to
+// the next pending event and fires it, reporting the idle cycles skipped.
+// ok is false when no events are pending.
+func (e *Engine) AdvanceToNextEvent() (idle Cycles, ok bool) {
+	ev := e.queue.peek()
+	if ev == nil {
+		return 0, false
+	}
+	if ev.at > e.now {
+		idle = ev.at - e.now
+		e.now = ev.at
+		if e.IdleSink != nil && idle > 0 {
+			e.IdleSink(idle)
+		}
+	}
+	e.fire()
+	return idle, true
+}
+
+// AdvanceTo idles the CPU forward to absolute time t, firing any events on
+// the way. Events exactly at t fire. Idle time is reported to IdleSink.
+func (e *Engine) AdvanceTo(t Cycles) {
+	for {
+		ev := e.queue.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		if ev.at > e.now {
+			idle := ev.at - e.now
+			e.now = ev.at
+			if e.IdleSink != nil && idle > 0 {
+				e.IdleSink(idle)
+			}
+		}
+		e.fire()
+	}
+	if t > e.now {
+		if e.IdleSink != nil {
+			e.IdleSink(t - e.now)
+		}
+		e.now = t
+	}
+}
+
+// Drain fires events until the queue is empty or the clock passes limit.
+// It is used by purely event-driven simulations (the Linux baseline and the
+// traffic generators) that have no cycle-level CPU to model.
+func (e *Engine) Drain(limit Cycles) {
+	for {
+		ev := e.queue.peek()
+		if ev == nil || ev.at > limit {
+			return
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.fire()
+	}
+}
+
+// NextEventAt reports the time of the earliest pending event.
+func (e *Engine) NextEventAt() (Cycles, bool) {
+	ev := e.queue.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+func (e *Engine) fire() {
+	ev := e.queue.pop()
+	if ev.canceled {
+		return
+	}
+	fn := ev.fn
+	ev.fn = nil
+	e.masked++
+	fn()
+	e.masked--
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). A hand-rolled heap
+// (rather than container/heap) keeps Event pointers stable and avoids
+// interface boxing on the hot path.
+type eventHeap []*Event
+
+func (h *eventHeap) push(ev *Event) {
+	*h = append(*h, ev)
+	ev.idx = len(*h) - 1
+	h.up(ev.idx)
+}
+
+func (h *eventHeap) peek() *Event {
+	if len(*h) == 0 {
+		return nil
+	}
+	return (*h)[0]
+}
+
+func (h *eventHeap) pop() *Event {
+	ev := (*h)[0]
+	h.removeAt(0)
+	return ev
+}
+
+func (h *eventHeap) remove(ev *Event) {
+	if ev.idx < 0 || ev.idx >= len(*h) || (*h)[ev.idx] != ev {
+		return
+	}
+	h.removeAt(ev.idx)
+}
+
+func (h *eventHeap) removeAt(i int) {
+	old := *h
+	n := len(old) - 1
+	old[i].idx = -1
+	if i != n {
+		old[i] = old[n]
+		old[i].idx = i
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) bool {
+	start := i
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+	return i > start
+}

@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAfterFiresInOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.After(30, func() { got = append(got, 3) })
+	e.After(10, func() { got = append(got, 1) })
+	e.After(20, func() { got = append(got, 2) })
+	e.Drain(100)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %d, want 30", e.Now())
+	}
+}
+
+func TestEqualTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(50, func() { got = append(got, i) })
+	}
+	e.Drain(50)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("order %v; want ascending schedule order", got)
+		}
+	}
+}
+
+func TestConsumeCPUAdvancesExactly(t *testing.T) {
+	e := New()
+	e.ConsumeCPU(12345)
+	if e.Now() != 12345 {
+		t.Fatalf("now = %d, want 12345", e.Now())
+	}
+}
+
+func TestConsumeCPUFiresDueEvents(t *testing.T) {
+	e := New()
+	var firedAt Cycles
+	e.After(100, func() { firedAt = e.Now() })
+	e.ConsumeCPU(500)
+	if firedAt != 100 {
+		t.Fatalf("event fired at %d, want 100", firedAt)
+	}
+	if e.Now() != 500 {
+		t.Fatalf("now = %d, want 500", e.Now())
+	}
+}
+
+func TestInterruptStealsCPUTime(t *testing.T) {
+	// A thread consumes 1000 cycles; an interrupt at t=400 consumes 250
+	// cycles of its own. The thread's work must still total 1000 cycles of
+	// CPU, so it finishes at 1250.
+	e := New()
+	e.After(400, func() { e.ConsumeCPU(250) })
+	e.ConsumeCPU(1000)
+	if e.Now() != 1250 {
+		t.Fatalf("now = %d, want 1250 (1000 work + 250 interrupt)", e.Now())
+	}
+}
+
+func TestNestedInterrupts(t *testing.T) {
+	e := New()
+	e.After(100, func() {
+		e.After(50, func() { e.ConsumeCPU(10) }) // fires inside the outer interrupt
+		e.ConsumeCPU(100)
+	})
+	e.ConsumeCPU(1000)
+	if e.Now() != 1110 {
+		t.Fatalf("now = %d, want 1110", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.After(10, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Drain(100)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.After(Cycles(10+i), func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[7])
+	e.Cancel(evs[0])
+	e.Cancel(evs[19])
+	e.Drain(1000)
+	if len(got) != 17 {
+		t.Fatalf("fired %d events, want 17", len(got))
+	}
+	for _, v := range got {
+		if v == 7 || v == 0 || v == 19 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+}
+
+func TestAdvanceToNextEventReportsIdle(t *testing.T) {
+	e := New()
+	var idleSeen Cycles
+	e.IdleSink = func(c Cycles) { idleSeen += c }
+	e.After(777, func() {})
+	idle, ok := e.AdvanceToNextEvent()
+	if !ok || idle != 777 {
+		t.Fatalf("idle = %d ok=%v, want 777 true", idle, ok)
+	}
+	if idleSeen != 777 {
+		t.Fatalf("idle sink got %d, want 777", idleSeen)
+	}
+	if _, ok := e.AdvanceToNextEvent(); ok {
+		t.Fatal("AdvanceToNextEvent with empty queue returned ok")
+	}
+}
+
+func TestAdvanceToIdlesAndFires(t *testing.T) {
+	e := New()
+	var idleSeen Cycles
+	e.IdleSink = func(c Cycles) { idleSeen += c }
+	fired := 0
+	e.After(100, func() { fired++ })
+	e.After(300, func() { fired++ })
+	e.After(900, func() { fired++ })
+	e.AdvanceTo(500)
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2", fired)
+	}
+	if e.Now() != 500 {
+		t.Fatalf("now = %d, want 500", e.Now())
+	}
+	if idleSeen != 500 {
+		t.Fatalf("idle = %d, want 500 (all skipped time is idle)", idleSeen)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := New()
+	e.ConsumeCPU(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.AtTime(50, func() {})
+}
+
+func TestEventSelfRearm(t *testing.T) {
+	e := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	e.Drain(1000)
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("now = %d, want 50", e.Now())
+	}
+}
+
+// TestHeapOrderProperty drives the event heap with arbitrary delays and
+// checks events always fire in non-decreasing time order.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var times []Cycles
+		for _, d := range delays {
+			e.After(Cycles(d), func() { times = append(times, e.Now()) })
+		}
+		e.Drain(1 << 40)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsumeCPUConservesWork checks that however events interleave, the
+// final clock equals total thread work plus total interrupt work.
+func TestConsumeCPUConservesWork(t *testing.T) {
+	f := func(work uint16, intrs []uint8) bool {
+		e := New()
+		var intrTotal Cycles
+		for i, c := range intrs {
+			c := Cycles(c)
+			intrTotal += c
+			e.After(Cycles(i*13), func() { e.ConsumeCPU(c) })
+		}
+		w := Cycles(work)
+		// Thread work must be long enough to reach the last interrupt,
+		// otherwise the tail interrupts fire while idle, which still
+		// advances the clock the same total amount via Drain.
+		e.ConsumeCPU(w)
+		e.Drain(1 << 40)
+		lastArm := Cycles(0)
+		if len(intrs) > 0 {
+			lastArm = Cycles((len(intrs) - 1) * 13)
+		}
+		min := w + intrTotal
+		if lastArm > w {
+			// Some interrupts fired after the work finished; the clock is
+			// then at least the last arm time.
+			if e.Now() < lastArm {
+				return false
+			}
+			return true
+		}
+		return e.Now() == min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(42).Uint64() == c.Uint64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		if c := r.Cycles(99); c >= 99 {
+			t.Fatalf("Cycles out of range: %d", c)
+		}
+	}
+}
+
+func TestJitter(t *testing.T) {
+	r := NewRand(9)
+	base := Cycles(1000)
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(base, 0.1)
+		if v < 900 || v > 1100 {
+			t.Fatalf("jitter out of ±10%% band: %d", v)
+		}
+	}
+	if r.Jitter(0, 0.5) != 0 {
+		t.Fatal("jitter of zero base should be zero")
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("zero-fraction jitter should be identity")
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+// Rand is a small deterministic PRNG (xorshift64*) used wherever the
+// simulation needs randomness — workload inter-arrival jitter, document
+// selection — so that every experiment is exactly reproducible from its
+// seed. math/rand would work too, but a local generator makes the
+// determinism guarantee self-contained and allows many independent streams.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (zero is remapped, since an
+// all-zero xorshift state is a fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Cycles returns a value in [0, n). It panics when n == 0.
+func (r *Rand) Cycles(n Cycles) Cycles {
+	if n == 0 {
+		panic("sim: Cycles with zero bound")
+	}
+	return Cycles(r.Uint64() % uint64(n))
+}
+
+// Jitter returns base perturbed by up to ±frac (e.g. 0.1 for ±10%).
+func (r *Rand) Jitter(base Cycles, frac float64) Cycles {
+	if base == 0 || frac <= 0 {
+		return base
+	}
+	span := float64(base) * frac
+	delta := (r.Float64()*2 - 1) * span
+	v := float64(base) + delta
+	if v < 1 {
+		v = 1
+	}
+	return Cycles(v)
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/proto/wire"
+	"repro/internal/sim"
+)
+
+// Client performs a sequence of serial requests for the same document
+// (§4.1.2's "Client" load).
+type Client struct {
+	*Station
+	Doc  string
+	Port uint16
+
+	// Think is an optional delay between a completion and the next
+	// request.
+	Think sim.Cycles
+
+	// MaxRequests stops the loop after that many completions (zero:
+	// unlimited) — Table 1 measures exactly 100 serial requests.
+	MaxRequests uint64
+
+	// Completed counts successful request/response/close cycles;
+	// TotalLatency accumulates their durations.
+	Completed    uint64
+	Failed       uint64
+	TotalLatency sim.Cycles
+
+	cur     *peerConn
+	stopped bool
+
+	// Timeout abandons a connection that stalls (the CGI attacker's
+	// requests never complete).
+	Timeout sim.Cycles
+}
+
+// NewClient creates a client station requesting doc from the server's
+// port 80.
+func NewClient(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, doc string, seed uint64) *Client {
+	return &Client{
+		Station: NewStation(eng, seg, name, ip, mac, serverIP, seed),
+		Doc:     doc,
+		Port:    80,
+		Timeout: 10 * sim.CyclesPerSecond,
+	}
+}
+
+// Start begins the request loop (after ARP resolution).
+func (c *Client) Start() {
+	c.Resolve(c.next)
+}
+
+// Stop ends the loop after the in-flight request.
+func (c *Client) Stop() { c.stopped = true }
+
+func (c *Client) next() {
+	if c.stopped || (c.MaxRequests > 0 && c.Completed >= c.MaxRequests) {
+		return
+	}
+	req := []byte(fmt.Sprintf("GET %s HTTP/1.0\r\nHost: server\r\n\r\n", c.Doc))
+	start := c.Eng.Now()
+	conn := c.open(c.Port, req, nil, func(success bool) {
+		if success {
+			c.Completed++
+			c.TotalLatency += c.Eng.Now() - start
+		} else {
+			c.Failed++
+		}
+		if c.Think > 0 {
+			c.Eng.After(c.rng.Jitter(c.Think, 0.1), c.next)
+		} else {
+			c.next()
+		}
+	})
+	c.cur = conn
+	if c.Timeout > 0 {
+		c.Eng.After(c.Timeout, func() {
+			if c.cur == conn && conn.state != pcDone && conn.state != pcFailed {
+				conn.abandon(false)
+			}
+		})
+	}
+}
+
+// MeanLatency returns the average completed-request latency.
+func (c *Client) MeanLatency() sim.Cycles {
+	if c.Completed == 0 {
+		return 0
+	}
+	return c.TotalLatency / sim.Cycles(c.Completed)
+}
+
+// SynAttacker floods the server with connection-initiation segments and
+// never completes a handshake (§4.1.2: 1000 SYN/s).
+type SynAttacker struct {
+	*Station
+	Rate uint64 // SYNs per second
+	Port uint16
+
+	Sent    uint64
+	stopped bool
+	seq     uint32
+	srcPort uint16
+}
+
+// NewSynAttacker creates the attacker station.
+func NewSynAttacker(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, rate uint64, seed uint64) *SynAttacker {
+	return &SynAttacker{
+		Station: NewStation(eng, seg, name, ip, mac, serverIP, seed),
+		Rate:    rate,
+		Port:    80,
+		srcPort: 2000,
+	}
+}
+
+// Start begins the flood.
+func (a *SynAttacker) Start() {
+	a.Resolve(a.tick)
+}
+
+// Stop ends the flood.
+func (a *SynAttacker) Stop() { a.stopped = true }
+
+func (a *SynAttacker) tick() {
+	if a.stopped || a.Rate == 0 {
+		return
+	}
+	a.seq += 777
+	a.srcPort++
+	if a.srcPort < 1024 {
+		a.srcPort = 1024
+	}
+	a.sendTCP(a.srcPort, a.Port, wire.FlagSYN, a.seq, 0, nil)
+	a.Sent++
+	interval := sim.Cycles(uint64(sim.CyclesPerSecond) / a.Rate)
+	a.Eng.After(a.rng.Jitter(interval, 0.05), a.tick)
+}
+
+// CGIAttacker issues one runaway-CGI request per second (§4.1.2); the
+// request never completes — the server kills the path after it burns
+// its CPU budget.
+type CGIAttacker struct {
+	*Station
+	Interval sim.Cycles
+	Port     uint16
+
+	Launched uint64
+	stopped  bool
+}
+
+// NewCGIAttacker creates the attacker station.
+func NewCGIAttacker(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, seed uint64) *CGIAttacker {
+	return &CGIAttacker{
+		Station:  NewStation(eng, seg, name, ip, mac, serverIP, seed),
+		Interval: sim.CyclesPerSecond,
+		Port:     80,
+	}
+}
+
+// Start begins the attack loop.
+func (a *CGIAttacker) Start() {
+	a.Resolve(a.tick)
+}
+
+// Stop ends the attack loop.
+func (a *CGIAttacker) Stop() { a.stopped = true }
+
+func (a *CGIAttacker) tick() {
+	if a.stopped {
+		return
+	}
+	a.Launched++
+	req := []byte("GET /cgi-bin/spin HTTP/1.0\r\n\r\n")
+	conn := a.open(a.Port, req, nil, nil)
+	// The server never answers a runaway request. The attacker keeps
+	// normal TCP patience — on a heavily loaded server the request may
+	// take seconds to be accepted, and the attack must still land.
+	a.Eng.After(10*a.Interval, func() {
+		conn.abandon(false)
+	})
+	a.Eng.After(a.rng.Jitter(a.Interval, 0.05), a.tick)
+}
+
+// QoSReceiver opens the guaranteed-bandwidth stream (§4.1.2) and
+// measures the delivered rate over sliding windows.
+type QoSReceiver struct {
+	*Station
+	Port uint16
+
+	BytesReceived uint64
+	samples       []rateSample
+	conn          *peerConn
+	started       bool
+}
+
+type rateSample struct {
+	at    sim.Cycles
+	total uint64
+}
+
+// NewQoSReceiver creates the receiver station (stream service on port
+// 81).
+func NewQoSReceiver(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, seed uint64) *QoSReceiver {
+	r := &QoSReceiver{
+		Station: NewStation(eng, seg, name, ip, mac, serverIP, seed),
+		Port:    81,
+	}
+	// Streams are latency-sensitive: acknowledge every segment.
+	r.DelAckThreshold = 1
+	return r
+}
+
+// Start opens the stream.
+func (r *QoSReceiver) Start() {
+	r.Resolve(func() {
+		req := []byte("GET /stream HTTP/1.0\r\n\r\n")
+		r.conn = r.open(r.Port, req, func(n int) {
+			r.BytesReceived += uint64(n)
+		}, nil)
+		r.started = true
+		r.sample()
+	})
+}
+
+func (r *QoSReceiver) sample() {
+	r.samples = append(r.samples, rateSample{at: r.Eng.Now(), total: r.BytesReceived})
+	if len(r.samples) > 256 {
+		r.samples = r.samples[len(r.samples)-128:]
+	}
+	r.Eng.After(sim.CyclesPerSecond/2, r.sample)
+}
+
+// RateBps returns the average delivery rate (bytes/second) over the
+// most recent window of the given length — the paper's ten-second
+// averages use window = 10 s.
+func (r *QoSReceiver) RateBps(window sim.Cycles) float64 {
+	now := r.Eng.Now()
+	cutoff := sim.Cycles(0)
+	if now > window {
+		cutoff = now - window
+	}
+	// Find the earliest sample at or after the cutoff.
+	for _, s := range r.samples {
+		if s.at >= cutoff {
+			dt := now - s.at
+			if dt == 0 {
+				return 0
+			}
+			return float64(r.BytesReceived-s.total) / dt.Seconds()
+		}
+	}
+	return 0
+}

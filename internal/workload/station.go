@@ -1,0 +1,405 @@
+// Package workload implements the load generators of §4.1.2 as
+// event-driven stations on the simulated network: regular clients
+// (serial requests for one document), the SYN attacker (1000 SYN/s, no
+// handshake completion), the CGI attacker (one runaway request per
+// second), and the QoS stream receiver. Stations deliberately have no
+// CPU model: the paper provisions one client per PentiumPro exactly so
+// the clients are never the bottleneck; only the server's cycles are
+// under test.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/proto/wire"
+	"repro/internal/sim"
+)
+
+// Station is a network endpoint with a TCP-lite client stack: enough
+// protocol to open connections, send one request, acknowledge data
+// (with a delayed-ACK policy, the mechanism behind the paper's
+// congestion-control-limited 10 KB results), and close.
+type Station struct {
+	Eng  *sim.Engine
+	NIC  *netsim.NIC
+	IP   uint32
+	MAC  netsim.MAC
+	Name string
+
+	ServerIP  uint32
+	serverMAC netsim.MAC
+	resolved  bool
+	onResolve []func()
+
+	// DelAckThreshold acknowledges every Nth data segment immediately;
+	// DelAckTimeout flushes a pending ACK. RFC-style defaults are set by
+	// NewStation.
+	DelAckThreshold int
+	DelAckTimeout   sim.Cycles
+
+	// SynRetry is the client SYN retransmission interval (zero disables).
+	SynRetry sim.Cycles
+
+	// ReqRetry retransmits the request while no response data has
+	// arrived (a dropped request segment would otherwise hang the
+	// connection until the client timeout).
+	ReqRetry sim.Cycles
+
+	conns    map[uint16]*peerConn // keyed by local port
+	portSeq  uint16
+	issSeq   uint32
+	rng      *sim.Rand
+	arpTries int
+}
+
+// NewStation creates a station and attaches its NIC to seg.
+func NewStation(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, seed uint64) *Station {
+	st := &Station{
+		Eng:             eng,
+		NIC:             netsim.NewNIC(name, mac),
+		IP:              ip,
+		MAC:             mac,
+		Name:            name,
+		ServerIP:        serverIP,
+		DelAckThreshold: 2,
+		DelAckTimeout:   20 * sim.CyclesPerMillisecond,
+		SynRetry:        1000 * sim.CyclesPerMillisecond,
+		ReqRetry:        1000 * sim.CyclesPerMillisecond,
+		conns:           make(map[uint16]*peerConn),
+		portSeq:         1024,
+		rng:             sim.NewRand(seed),
+	}
+	st.NIC.Rx = st.rx
+	seg.Attach(st.NIC)
+	return st
+}
+
+// Resolve starts ARP resolution of the server and runs fn once the MAC
+// is known (immediately if it already is).
+func (s *Station) Resolve(fn func()) {
+	if s.resolved {
+		fn()
+		return
+	}
+	s.onResolve = append(s.onResolve, fn)
+	if len(s.onResolve) == 1 {
+		s.sendARPRequest()
+	}
+}
+
+func (s *Station) sendARPRequest() {
+	buf := make([]byte, wire.EthLen+wire.ARPLen)
+	wire.PutEth(buf, wire.Eth{Dst: netsim.Broadcast, Src: s.MAC, EtherType: wire.EtherTypeARP})
+	wire.PutARP(buf[wire.EthLen:], wire.ARP{
+		Op: wire.ARPRequest, SenderMAC: s.MAC, SenderIP: s.IP, TargetIP: s.ServerIP,
+	})
+	s.NIC.Send(netsim.Frame{Dst: netsim.Broadcast, Src: s.MAC, Data: buf})
+	s.arpTries++
+	if s.arpTries < 10 {
+		s.Eng.After(100*sim.CyclesPerMillisecond, func() {
+			if !s.resolved {
+				s.sendARPRequest()
+			}
+		})
+	}
+}
+
+// rx is the station's receive handler.
+func (s *Station) rx(f netsim.Frame) {
+	eh, err := wire.ParseEth(f.Data)
+	if err != nil {
+		return
+	}
+	switch eh.EtherType {
+	case wire.EtherTypeARP:
+		s.rxARP(f.Data[wire.EthLen:])
+	case wire.EtherTypeIPv4:
+		s.rxIP(eh, f.Data[wire.EthLen:])
+	}
+}
+
+func (s *Station) rxARP(b []byte) {
+	a, err := wire.ParseARP(b)
+	if err != nil {
+		return
+	}
+	switch a.Op {
+	case wire.ARPReply:
+		if a.SenderIP == s.ServerIP {
+			s.serverMAC = a.SenderMAC
+			if !s.resolved {
+				s.resolved = true
+				fns := s.onResolve
+				s.onResolve = nil
+				for _, fn := range fns {
+					fn()
+				}
+			}
+		}
+	case wire.ARPRequest:
+		if a.TargetIP == s.IP {
+			buf := make([]byte, wire.EthLen+wire.ARPLen)
+			wire.PutEth(buf, wire.Eth{Dst: a.SenderMAC, Src: s.MAC, EtherType: wire.EtherTypeARP})
+			wire.PutARP(buf[wire.EthLen:], wire.ARP{
+				Op: wire.ARPReply, SenderMAC: s.MAC, SenderIP: s.IP,
+				TargetMAC: a.SenderMAC, TargetIP: a.SenderIP,
+			})
+			s.NIC.Send(netsim.Frame{Dst: a.SenderMAC, Src: s.MAC, Data: buf})
+		}
+	}
+}
+
+func (s *Station) rxIP(eh wire.Eth, b []byte) {
+	iph, err := wire.ParseIPv4(b)
+	if err != nil || iph.Proto != wire.ProtoTCP || iph.Dst != s.IP {
+		return
+	}
+	seg := b[wire.IPv4Len:]
+	if int(iph.TotalLen) >= wire.IPv4Len && int(iph.TotalLen) <= len(b) {
+		seg = b[wire.IPv4Len:iph.TotalLen]
+	}
+	th, dataOff, err := wire.ParseTCP(seg, iph.Src, iph.Dst)
+	if err != nil {
+		return
+	}
+	c, ok := s.conns[th.DstPort]
+	if !ok || c.remotePort != th.SrcPort {
+		return
+	}
+	c.input(th, seg[dataOff:])
+}
+
+// nextPort allocates an ephemeral port.
+func (s *Station) nextPort() uint16 {
+	for {
+		s.portSeq++
+		if s.portSeq < 1024 {
+			s.portSeq = 1024
+		}
+		if _, taken := s.conns[s.portSeq]; !taken {
+			return s.portSeq
+		}
+	}
+}
+
+// sendTCP emits one segment to the server.
+func (s *Station) sendTCP(localPort, remotePort uint16, flags byte, seq, ack uint32, payload []byte) {
+	buf := make([]byte, wire.EthLen+wire.IPv4Len+wire.TCPLen+len(payload))
+	copy(buf[wire.EthLen+wire.IPv4Len+wire.TCPLen:], payload)
+	wire.PutEth(buf, wire.Eth{Dst: s.serverMAC, Src: s.MAC, EtherType: wire.EtherTypeIPv4})
+	wire.PutIPv4(buf[wire.EthLen:], wire.IPv4{
+		TotalLen: uint16(wire.IPv4Len + wire.TCPLen + len(payload)),
+		ID:       uint16(s.issSeq),
+		TTL:      64,
+		Proto:    wire.ProtoTCP,
+		Src:      s.IP,
+		Dst:      s.ServerIP,
+	})
+	wire.PutTCP(buf[wire.EthLen+wire.IPv4Len:wire.EthLen+wire.IPv4Len+wire.TCPLen], wire.TCP{
+		SrcPort: localPort,
+		DstPort: remotePort,
+		Seq:     seq,
+		Ack:     ack,
+		Flags:   flags,
+		Window:  64000,
+	}, s.IP, s.ServerIP, payload)
+	s.NIC.Send(netsim.Frame{Dst: s.serverMAC, Src: s.MAC, Data: buf})
+}
+
+// Client connection states.
+const (
+	pcSynSent = iota
+	pcEstablished
+	pcLastAck
+	pcDone
+	pcFailed
+)
+
+// peerConn is the client side of one connection.
+type peerConn struct {
+	st         *Station
+	localPort  uint16
+	remotePort uint16
+	state      int
+
+	iss    uint32
+	sndNxt uint32
+	rcvNxt uint32
+
+	request []byte
+	started sim.Cycles
+
+	bytesIn    int
+	pendingAck int
+	delackEv   *sim.Event
+	retryEv    *sim.Event
+	sawFin     bool
+	finSent    bool
+
+	onData  func(n int)
+	onClose func(success bool)
+}
+
+// open starts a connection to the server and sends request after the
+// handshake.
+func (s *Station) open(remotePort uint16, request []byte, onData func(int), onClose func(bool)) *peerConn {
+	s.issSeq += 99991
+	c := &peerConn{
+		st:         s,
+		localPort:  s.nextPort(),
+		remotePort: remotePort,
+		state:      pcSynSent,
+		iss:        s.issSeq,
+		request:    request,
+		started:    s.Eng.Now(),
+		onData:     onData,
+		onClose:    onClose,
+	}
+	c.sndNxt = c.iss + 1
+	s.conns[c.localPort] = c
+	c.sendSyn()
+	return c
+}
+
+// sendRequest emits (or re-emits) the ACK+request segment.
+func (c *peerConn) sendRequest() {
+	c.st.sendTCP(c.localPort, c.remotePort, wire.FlagACK|wire.FlagPSH,
+		c.iss+1, c.rcvNxt, c.request)
+	c.sndNxt = c.iss + 1 + uint32(len(c.request))
+}
+
+// armReqRetry retransmits the request until response bytes arrive.
+func (c *peerConn) armReqRetry() {
+	if c.st.ReqRetry == 0 {
+		return
+	}
+	c.retryEv = c.st.Eng.After(c.st.ReqRetry, func() {
+		if c.state == pcEstablished && c.bytesIn == 0 && !c.sawFin {
+			c.sendRequest()
+			c.armReqRetry()
+		}
+	})
+}
+
+func (c *peerConn) sendSyn() {
+	c.st.sendTCP(c.localPort, c.remotePort, wire.FlagSYN, c.iss, 0, nil)
+	if c.st.SynRetry > 0 {
+		c.retryEv = c.st.Eng.After(c.st.SynRetry, func() {
+			if c.state == pcSynSent {
+				c.sendSyn()
+			}
+		})
+	}
+}
+
+// abandon abandons the connection (attacker cleanup, timeouts).
+func (c *peerConn) abandon(success bool) {
+	if c.state == pcDone || c.state == pcFailed {
+		return
+	}
+	c.state = pcFailed
+	c.cancelTimers()
+	delete(c.st.conns, c.localPort)
+	if c.onClose != nil {
+		c.onClose(success)
+	}
+}
+
+func (c *peerConn) cancelTimers() {
+	if c.delackEv != nil {
+		c.st.Eng.Cancel(c.delackEv)
+		c.delackEv = nil
+	}
+	if c.retryEv != nil {
+		c.st.Eng.Cancel(c.retryEv)
+		c.retryEv = nil
+	}
+}
+
+// input runs the client state machine on one received segment.
+func (c *peerConn) input(h wire.TCP, payload []byte) {
+	switch c.state {
+	case pcSynSent:
+		if h.Flags&wire.FlagSYN != 0 && h.Flags&wire.FlagACK != 0 && h.Ack == c.iss+1 {
+			c.rcvNxt = h.Seq + 1
+			c.state = pcEstablished
+			if c.retryEv != nil {
+				c.st.Eng.Cancel(c.retryEv)
+				c.retryEv = nil
+			}
+			c.sendRequest()
+			c.armReqRetry()
+		}
+	case pcEstablished:
+		if len(payload) > 0 {
+			if h.Seq == c.rcvNxt {
+				c.rcvNxt += uint32(len(payload))
+				c.bytesIn += len(payload)
+				if c.onData != nil {
+					c.onData(len(payload))
+				}
+				c.deferAck()
+			} else {
+				c.ackNow() // out of order: duplicate ACK
+			}
+		}
+		if h.Flags&wire.FlagFIN != 0 && h.Seq+uint32(len(payload)) == c.rcvNxt {
+			c.rcvNxt++
+			c.sawFin = true
+			// ACK the FIN and send ours.
+			c.cancelDelack()
+			c.st.sendTCP(c.localPort, c.remotePort, wire.FlagFIN|wire.FlagACK,
+				c.sndNxt, c.rcvNxt, nil)
+			c.sndNxt++
+			c.finSent = true
+			c.state = pcLastAck
+		}
+	case pcLastAck:
+		if h.Flags&wire.FlagACK != 0 && h.Ack == c.sndNxt {
+			c.state = pcDone
+			c.cancelTimers()
+			delete(c.st.conns, c.localPort)
+			if c.onClose != nil {
+				c.onClose(true)
+			}
+		}
+	}
+}
+
+// deferAck implements the delayed-ACK policy.
+func (c *peerConn) deferAck() {
+	c.pendingAck++
+	if c.pendingAck >= c.st.DelAckThreshold {
+		c.ackNow()
+		return
+	}
+	if c.delackEv == nil {
+		c.delackEv = c.st.Eng.After(c.st.DelAckTimeout, func() {
+			c.delackEv = nil
+			if c.pendingAck > 0 && c.state == pcEstablished {
+				c.ackNow()
+			}
+		})
+	}
+}
+
+func (c *peerConn) cancelDelack() {
+	if c.delackEv != nil {
+		c.st.Eng.Cancel(c.delackEv)
+		c.delackEv = nil
+	}
+	c.pendingAck = 0
+}
+
+func (c *peerConn) ackNow() {
+	c.cancelDelack()
+	c.st.sendTCP(c.localPort, c.remotePort, wire.FlagACK, c.sndNxt, c.rcvNxt, nil)
+}
+
+// Latency returns the connection's elapsed time so far.
+func (c *peerConn) Latency(now sim.Cycles) sim.Cycles { return now - c.started }
+
+func (s *Station) String() string {
+	return fmt.Sprintf("station(%s %s)", s.Name, s.NIC.Mac)
+}
