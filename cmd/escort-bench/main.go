@@ -6,20 +6,45 @@
 // Usage:
 //
 //	escort-bench -exp fig8|table1|table2|fig9|fig10|fig11|all [-scale quick|paper]
+//	             [-trace base.json] [-metrics base.csv]
+//
+// -trace and -metrics enable per-run observability on the figure
+// sweeps: each testbed run writes its own file, derived from the base
+// path by inserting the run label — e.g. -metrics out.csv produces
+// out-fig8-doc1-Accounting-c8.csv. Table runs are never observed
+// (their measurement is the ledger itself). Expect one file per sweep
+// point; the quick scale keeps the count manageable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
+
+// sinkFor derives the per-run filename <base>-<label><ext> and opens
+// it. The file is closed by the testbed's Observer on Close.
+func sinkFor(base, label string) *os.File {
+	ext := filepath.Ext(base)
+	name := base[:len(base)-len(ext)] + "-" + label + ext
+	f, err := os.Create(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escort-bench: %v\n", err)
+		os.Exit(1)
+	}
+	return f
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig8, table1, table2, fig9, fig10, fig11, all")
 	scaleName := flag.String("scale", "paper", "sweep scale: quick or paper")
+	traceBase := flag.String("trace", "", "write per-run Chrome trace JSON files derived from this base path")
+	metricsBase := flag.String("metrics", "", "write per-run metrics CSV files derived from this base path")
 	flag.Parse()
 
 	var sc experiment.Scale
@@ -31,6 +56,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
+	}
+
+	if *traceBase != "" || *metricsBase != "" {
+		sc.Obs = func(label string) *obs.Config {
+			cfg := &obs.Config{}
+			if *traceBase != "" {
+				cfg.TraceJSON = sinkFor(*traceBase, label)
+			}
+			if *metricsBase != "" {
+				cfg.MetricsCSV = sinkFor(*metricsBase, label)
+			}
+			return cfg
+		}
 	}
 
 	run := func(name string, fn func() error) {

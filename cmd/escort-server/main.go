@@ -8,6 +8,14 @@
 //
 //	escort-server [-config scout|accounting|accounting_pd]
 //	              [-seconds 10] [-clients 8] [-syn 1000] [-cgi 2] [-qos]
+//	              [-trace out.json] [-trace-text out.txt]
+//	              [-metrics out.csv] [-metrics-json out.json]
+//
+// -trace writes a Chrome trace_event JSON file (load it at
+// https://ui.perfetto.dev or chrome://tracing; one "process" per
+// protection domain, one track per owner). -metrics writes per-owner
+// cycle/kmem/page time series sampled every 10 simulated ms; the
+// per-owner cycle columns sum to the virtual clock at every tick.
 package main
 
 import (
@@ -22,9 +30,20 @@ import (
 	"repro/internal/escort"
 	"repro/internal/lib"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// openSink creates an output file for an observability flag, exiting
+// on error. The returned writer is closed by Observer.Close.
+func openSink(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
 
 func main() {
 	cfgName := flag.String("config", "accounting", "scout, accounting, or accounting_pd")
@@ -36,7 +55,11 @@ func main() {
 	pf := flag.Bool("pathfinder", false, "pattern-based demultiplexing")
 	penalty := flag.Bool("penaltybox", false, "demote repeat offenders to a penalty path")
 	portFilter := flag.Bool("portfilter", false, "interpose the port-80 filter on the TCP/IP edge")
-	verbose := flag.Bool("v", false, "trace kernel events")
+	verbose := flag.Bool("v", false, "kernel console output on stderr")
+	traceJSON := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	traceText := flag.String("trace-text", "", "write human-readable event log to this file")
+	metricsCSV := flag.String("metrics", "", "write per-owner metrics CSV to this file")
+	metricsJSON := flag.String("metrics-json", "", "write per-owner metrics JSON to this file")
 	flag.Parse()
 
 	var kind escort.Kind
@@ -67,8 +90,30 @@ func main() {
 	if *qos {
 		opts.QoSRateBps = 1 << 20
 	}
+	ocfg := &obs.Config{}
+	wantObs := false
 	if *verbose {
-		opts.Trace = os.Stderr
+		ocfg.Console = os.Stderr
+		wantObs = true
+	}
+	if *traceJSON != "" {
+		ocfg.TraceJSON = openSink(*traceJSON)
+		wantObs = true
+	}
+	if *traceText != "" {
+		ocfg.TraceText = openSink(*traceText)
+		wantObs = true
+	}
+	if *metricsCSV != "" {
+		ocfg.MetricsCSV = openSink(*metricsCSV)
+		wantObs = true
+	}
+	if *metricsJSON != "" {
+		ocfg.MetricsJSON = openSink(*metricsJSON)
+		wantObs = true
+	}
+	if wantObs {
+		opts.Obs = ocfg
 	}
 	srv, err := escort.NewServer(eng, cost.Default(), hub, opts)
 	if err != nil {
@@ -159,4 +204,25 @@ func main() {
 		fmt.Printf("  %-36s %14d (%.1f%%)\n", r.name, r.c, 100*float64(r.c)/float64(total))
 	}
 	fmt.Printf("  %-36s %14d\n", "TOTAL (== virtual clock)", total)
+
+	// Flush and close the observability sinks (Stop first so the
+	// metrics series carries a final sample at the end of the run).
+	srv.Stop()
+	if err := srv.Obs.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if *traceJSON != "" || *traceText != "" {
+		fmt.Printf("\ntrace: %d events", srv.Obs.Tracer.Events())
+		if *traceJSON != "" {
+			fmt.Printf(" -> %s (load at https://ui.perfetto.dev)", *traceJSON)
+		}
+		fmt.Println()
+	}
+	if *metricsCSV != "" || *metricsJSON != "" {
+		fmt.Printf("metrics: %d samples", srv.Obs.Metrics.Len())
+		if *metricsCSV != "" {
+			fmt.Printf(" -> %s", *metricsCSV)
+		}
+		fmt.Println()
+	}
 }

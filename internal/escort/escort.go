@@ -9,7 +9,6 @@ package escort
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/cost"
 	"repro/internal/fs"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/module"
 	"repro/internal/msg"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/path"
 	"repro/internal/pathfinder"
 	"repro/internal/policy"
@@ -124,7 +124,12 @@ type Options struct {
 	// TotalPages sizes physical memory (default 32768 pages = 256 MB).
 	TotalPages int
 
-	Trace io.Writer
+	// Obs selects the observability sinks: event tracing (Chrome
+	// trace_event JSON / text), per-owner metrics sampling, and the
+	// kernel console. It replaces the former Trace io.Writer field —
+	// console output now goes through Obs.Console. Nil (the zero
+	// value) disables everything at zero cost.
+	Obs *obs.Config
 }
 
 // Server is an assembled Escort web server.
@@ -158,6 +163,11 @@ type Server struct {
 	PenaltyListener *tcpmod.Listener
 
 	Contain *policy.Containment
+
+	// Obs holds the live observability sinks built from Options.Obs.
+	// Call Obs.Close() after the run to flush the trace and metrics
+	// exports; it is nil-safe and idempotent.
+	Obs *obs.Observer
 }
 
 // NewServer builds a server of the given kind on the engine and
@@ -189,11 +199,14 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 	}
 	accounting := opt.Kind != KindScout
 
+	o := obs.New(opt.Obs)
 	kcfg := kernel.Config{
 		Accounting: accounting,
 		Scheduler:  opt.Scheduler,
 		TotalPages: opt.TotalPages,
-		Trace:      opt.Trace,
+		Console:    o.Console,
+		Tracer:     o.Tracer,
+		Metrics:    o.Metrics,
 	}
 	if accounting {
 		// Detection requires accounting: base Scout cannot enforce the
@@ -213,7 +226,7 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 	nic := netsim.NewNIC("server-eth0", opt.ServerMAC)
 	seg.Attach(nic)
 
-	s := &Server{Kind: opt.Kind, K: k, NIC: nic}
+	s := &Server{Kind: opt.Kind, K: k, NIC: nic, Obs: o}
 	tcpDown, ipUp := "ip", "tcp" // tcp's open successor; ip's demux successor
 	if opt.PortFilter {
 		tcpDown, ipUp = "portfilter", "portfilter"
@@ -299,6 +312,7 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 	// listeners.
 	if opt.PenaltyBox && accounting {
 		s.Penalty = policy.NewPenaltyBox(eng, 0)
+		s.Penalty.Tracer = o.Tracer
 		s.TCP.OnOffender = s.Penalty.Record
 		cap := opt.PenaltyCap
 		if cap == 0 {
@@ -308,6 +322,9 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 			cap, "scsi", nil)
 		penaltyAttrs[tcpmod.AttrOnAccept] = func(p module.PathRef) {
 			policy.DemotePriority(p)
+			if tr := o.Tracer; tr != nil {
+				tr.Policy("penaltyRoute", p.PathName(), "", eng.Now())
+			}
 		}
 		if _, err := mgr.Create(nil, "Passive SYN Path (penalty)", "tcp", penaltyAttrs); err != nil {
 			return nil, fmt.Errorf("escort: penalty passive path: %w", err)
@@ -363,6 +380,14 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 			_ = s.Classifier.Add(pathfinder.ARPPattern(arpPath))
 		}
 	}
+	if tr := o.Tracer; tr != nil {
+		// Engine fires trace through the hook (sim cannot import obs);
+		// every protection domain becomes a trace "process".
+		eng.OnFire = tr.EngineFire
+		for _, d := range k.Domains().All() {
+			tr.Process(uint32(d.ID()), d.Name())
+		}
+	}
 	return s, nil
 }
 
@@ -386,5 +411,9 @@ func (s *Server) Run(d sim.Cycles) { s.K.RunFor(d) }
 // Completed returns the number of connections served to completion.
 func (s *Server) Completed() uint64 { return s.TCP.Completed }
 
-// Stop unwinds the kernel's threads (test hygiene).
-func (s *Server) Stop() { s.K.Stop() }
+// Stop unwinds the kernel's threads (test hygiene) after taking a
+// final metrics sample so the exported series covers the whole run.
+func (s *Server) Stop() {
+	s.K.Metrics().Final(s.K.Engine().Now())
+	s.K.Stop()
+}

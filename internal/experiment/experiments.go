@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -18,6 +19,21 @@ type Scale struct {
 	Window  sim.Cycles
 	Clients []int
 	CGICnts []int
+
+	// Obs, when non-nil, is asked for an observability config for each
+	// figure run; the label encodes figure, document, configuration and
+	// sweep point (e.g. "fig8-doc1-Accounting-c8"). Table runs stay
+	// unobserved: their measurement is the ledger itself.
+	Obs ObsFactory
+}
+
+// obsFor resolves the per-run observability config, nil when no
+// factory is installed.
+func (sc Scale) obsFor(label string) *obs.Config {
+	if sc.Obs == nil {
+		return nil
+	}
+	return sc.Obs(label)
 }
 
 // PaperScale approximates the paper's sweep.
@@ -57,7 +73,8 @@ func Fig8(sc Scale, docs []DocSpec, configs []Config) ([]Fig8Row, error) {
 	for _, doc := range docs {
 		for _, cfg := range configs {
 			for _, n := range sc.Clients {
-				tb, err := NewTestbed(cfg, Options{})
+				label := fmt.Sprintf("fig8-%s-%s-c%d", strings.TrimPrefix(doc.Name, "/"), cfg, n)
+				tb, err := NewTestbed(cfg, Options{Obs: sc.obsFor(label)})
 				if err != nil {
 					return nil, err
 				}
@@ -304,7 +321,8 @@ func Fig9(sc Scale, docs []DocSpec) ([]Fig9Row, error) {
 		for _, cfg := range []Config{ConfigAccounting, ConfigAccountingPD} {
 			for _, attack := range []bool{false, true} {
 				for _, n := range sc.Clients {
-					tb, err := NewTestbed(cfg, Options{SynCapUntrusted: 64})
+					label := fmt.Sprintf("fig9-%s-%s-c%d-attack%v", strings.TrimPrefix(doc.Name, "/"), cfg, n, attack)
+					tb, err := NewTestbed(cfg, Options{SynCapUntrusted: 64, Obs: sc.obsFor(label)})
 					if err != nil {
 						return nil, err
 					}

@@ -30,7 +30,8 @@ func Fig10(sc Scale, docs []DocSpec) ([]Fig10Row, error) {
 		for _, cfg := range []Config{ConfigAccounting, ConfigAccountingPD} {
 			for _, stream := range []bool{false, true} {
 				for _, n := range sc.Clients {
-					tb, err := NewTestbed(cfg, Options{QoSRateBps: QoSTarget})
+					label := fmt.Sprintf("fig10-%s-%s-c%d-stream%v", strings.TrimPrefix(doc.Name, "/"), cfg, n, stream)
+					tb, err := NewTestbed(cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label)})
 					if err != nil {
 						return nil, err
 					}
@@ -137,7 +138,8 @@ func Fig11(sc Scale, docs []DocSpec, clients int) ([]Fig11Row, error) {
 	for _, doc := range docs {
 		for _, cfg := range []Config{ConfigAccounting, ConfigAccountingPD} {
 			for _, atk := range sc.CGICnts {
-				tb, err := NewTestbed(cfg, Options{QoSRateBps: QoSTarget})
+				label := fmt.Sprintf("fig11-%s-%s-cgi%d", strings.TrimPrefix(doc.Name, "/"), cfg, atk)
+				tb, err := NewTestbed(cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label)})
 				if err != nil {
 					return nil, err
 				}

@@ -15,9 +15,16 @@ import (
 	"repro/internal/lib"
 	"repro/internal/linuxsim"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// ObsFactory builds an observability config for one testbed run; the
+// label identifies the run (e.g. "fig8-doc1-Accounting-c8") so sinks
+// can be routed to per-run files. Returning nil disables observability
+// for that run.
+type ObsFactory func(label string) *obs.Config
 
 // Config names the measured configurations of §4.1.1.
 type Config string
@@ -92,6 +99,9 @@ type Options struct {
 	Model *cost.Model
 	// Scheduler overrides the thread scheduler (ablation studies).
 	Scheduler string
+	// Obs selects observability sinks for the Escort server (ignored
+	// for the Linux baseline, which has no Escort kernel to observe).
+	Obs *obs.Config
 }
 
 // NewTestbed builds the topology and the server of the given config.
@@ -128,6 +138,7 @@ func NewTestbed(cfg Config, opt Options) (*Testbed, error) {
 		QoSRateBps:      opt.QoSRateBps,
 		Scheduler:       opt.Scheduler,
 		PathFinder:      opt.PathFinder,
+		Obs:             opt.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -136,11 +147,21 @@ func NewTestbed(cfg Config, opt Options) (*Testbed, error) {
 	return tb, nil
 }
 
-// Close unwinds kernel threads.
+// Close unwinds kernel threads and flushes any observability sinks.
 func (tb *Testbed) Close() {
 	if tb.Escort != nil {
 		tb.Escort.Stop()
+		tb.Escort.Obs.Close()
 	}
+}
+
+// MetricsSamples returns the per-owner metrics series recorded so far,
+// or nil when metrics are disabled (or on the Linux baseline).
+func (tb *Testbed) MetricsSamples() []obs.Sample {
+	if tb.Escort == nil {
+		return nil
+	}
+	return tb.Escort.Obs.Metrics.Samples()
 }
 
 // ClientThink models the per-request client-side turnaround of the

@@ -31,6 +31,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/lib"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -118,13 +119,14 @@ type Manager struct {
 	k      *kernel.Kernel
 	nextID uint64
 	cache  []*Buffer
+	tracer *obs.Tracer // resolved once from the kernel; nil when disabled
 
 	hits, misses uint64
 }
 
 // NewManager returns an IOBuffer manager bound to the kernel.
 func NewManager(k *kernel.Kernel) *Manager {
-	return &Manager{k: k}
+	return &Manager{k: k, tracer: k.Tracer()}
 }
 
 // CacheStats reports buffer-cache hits and misses.
@@ -152,6 +154,7 @@ func (m *Manager) Alloc(ctx *kernel.Ctx, owner *core.Owner, npages int, spec Map
 	m.charge(ctx, owner, model.IOBufAlloc+m.k.AccountingTax())
 
 	b := m.fromCache(npages, spec)
+	hit := b != nil
 	if b == nil {
 		m.misses++
 		blk, err := m.k.Pages().Alloc(m.k.KernelOwner(), npages)
@@ -172,6 +175,9 @@ func (m *Manager) Alloc(ctx *kernel.Ctx, owner *core.Owner, npages int, spec Map
 	}
 	b.applySpec(spec)
 	m.charge(ctx, owner, sim.Cycles(len(b.mappings))*model.IOBufMapPerDomain)
+	if tr := m.tracer; tr != nil {
+		tr.IOBufAlloc(owner.Name, npages, hit, m.k.Engine().Now())
+	}
 	return b.hold(owner), nil
 }
 
@@ -212,6 +218,9 @@ func (m *Manager) Lock(ctx *kernel.Ctx, b *Buffer, owner *core.Owner) (*Hold, er
 	b.frozen = true
 	if b.mappings[b.writer] == PermRW {
 		b.mappings[b.writer] = PermRO
+	}
+	if tr := m.tracer; tr != nil {
+		tr.IOBufLock(owner.Name, m.k.Engine().Now())
 	}
 	return b.hold(owner), nil
 }

@@ -181,8 +181,17 @@ func (a *ACL) Check(d domain.ID, op Op) bool {
 // kernel object operation; a denied call returns ErrAccessDenied without
 // performing the operation.
 func (c *Ctx) Syscall(op Op) error {
+	tr := c.k.tracer
+	var began sim.Cycles
+	if tr != nil {
+		began = c.k.eng.Now()
+	}
 	c.Use(c.k.model.Syscall + c.k.AccountingTax())
-	if !c.k.acl.Check(c.t.curDomain, op) {
+	denied := !c.k.acl.Check(c.t.curDomain, op)
+	if tr != nil {
+		tr.Syscall(uint32(c.t.curDomain), c.t.owner.Name, op.String(), began, c.k.eng.Now(), denied)
+	}
+	if denied {
 		c.k.Logf("acl: %s denied in domain %d (owner %s)", op, c.t.curDomain, c.t.owner.Name)
 		return fmt.Errorf("%w: %s in domain %d", ErrAccessDenied, op, c.t.curDomain)
 	}

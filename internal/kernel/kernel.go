@@ -21,6 +21,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/domain"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -40,8 +41,18 @@ type Config struct {
 	// without yields; zero means unlimited. Policies can override
 	// per owner.
 	MaxRunDefault sim.Cycles
-	// Trace, when non-nil, receives console output.
-	Trace io.Writer
+	// Console, when non-nil, receives kernel console (Logf) output.
+	// It was previously named Trace; structured tracing now goes
+	// through Tracer instead.
+	Console io.Writer
+	// Tracer, when non-nil, receives structured lifecycle events
+	// (syscalls, thread slices, domain crossings, idle spans). A nil
+	// tracer costs one pointer test per emit site.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is bound to the ledger and polled at
+	// scheduler-loop boundaries so per-owner time series get sampled
+	// on its virtual-time tick.
+	Metrics *obs.Metrics
 }
 
 // Kernel is a running Escort kernel instance.
@@ -56,6 +67,9 @@ type Kernel struct {
 	tlb     *domain.TLB
 	sch     sched.Scheduler
 	acl     *ACL
+
+	tracer  *obs.Tracer  // nil when tracing is disabled
+	metrics *obs.Metrics // nil when metrics are disabled
 
 	idleOwner      *core.Owner
 	softclockOwner *core.Owner
@@ -103,6 +117,8 @@ func New(eng *sim.Engine, model *cost.Model, cfg Config) *Kernel {
 		sch:     sched.New(cfg.Scheduler),
 		acl:     NewACL(),
 		threads: make(map[*Thread]struct{}),
+		tracer:  cfg.Tracer,
+		metrics: cfg.Metrics,
 	}
 	k.pages = mem.NewAllocator(cfg.TotalPages)
 	k.domains = domain.NewRegistry(k.pages, k.ledger)
@@ -113,7 +129,16 @@ func New(eng *sim.Engine, model *cost.Model, cfg Config) *Kernel {
 	k.ledger.Register(k.idleOwner)
 	k.ledger.Register(k.softclockOwner)
 
-	eng.IdleSink = func(c sim.Cycles) { k.idleOwner.ChargeCycles(c) }
+	if tr := k.tracer; tr != nil {
+		eng.IdleSink = func(c sim.Cycles) {
+			k.idleOwner.ChargeCycles(c)
+			now := eng.Now()
+			tr.Idle(now-c, now)
+		}
+	} else {
+		eng.IdleSink = func(c sim.Cycles) { k.idleOwner.ChargeCycles(c) }
+	}
+	k.metrics.Bind(k.ledger)
 
 	// Softclock: the 1 ms system timer (§4.3.1 — "the softclock
 	// increments the system timer every millisecond"; its cost is
@@ -155,6 +180,14 @@ func (k *Kernel) ACL() *ACL { return k.acl }
 
 // AccountingEnabled reports whether resource accounting is on.
 func (k *Kernel) AccountingEnabled() bool { return k.cfg.Accounting }
+
+// Tracer returns the configured event tracer; nil (which every obs
+// method accepts) when tracing is disabled. Subsystems resolve this
+// once at construction so the disabled path is a single pointer test.
+func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
+
+// Metrics returns the configured metrics sampler, nil when disabled.
+func (k *Kernel) Metrics() *obs.Metrics { return k.metrics }
 
 // KernelOwner returns the privileged domain's owner.
 func (k *Kernel) KernelOwner() *core.Owner { return k.kernelOwner }
@@ -211,12 +244,12 @@ func (k *Kernel) AccountingTax() sim.Cycles {
 
 // Logf writes to the configured console.
 func (k *Kernel) Logf(format string, args ...any) {
-	if k.cfg.Trace == nil {
+	if k.cfg.Console == nil {
 		return
 	}
-	fmt.Fprintf(k.cfg.Trace, "[%10d] ", k.eng.Now())
-	fmt.Fprintf(k.cfg.Trace, format, args...)
-	fmt.Fprintln(k.cfg.Trace)
+	fmt.Fprintf(k.cfg.Console, "[%10d] ", k.eng.Now())
+	fmt.Fprintf(k.cfg.Console, format, args...)
+	fmt.Fprintln(k.cfg.Console)
 }
 
 // Run dispatches threads and advances the simulation until the virtual
@@ -227,7 +260,13 @@ func (k *Kernel) Logf(format string, args ...any) {
 func (k *Kernel) Run(until sim.Cycles) {
 	k.runDeadline = until
 	defer func() { k.runDeadline = 0 }()
+	// Metrics are sampled at loop boundaries only: here every burned
+	// cycle has been fully charged to an owner, so each sample satisfies
+	// the Table 1 invariant (summed owner cycles == Now) exactly. The
+	// deferred poll covers the early return on the idle-to-deadline path.
+	defer func() { k.metrics.Poll(k.eng.Now()) }()
 	for k.eng.Now() < until && !k.stopped {
+		k.metrics.Poll(k.eng.Now())
 		if t := k.paused; t != nil {
 			k.paused = nil
 			k.resume(t)
@@ -277,8 +316,16 @@ func (k *Kernel) dispatch(t *Thread) {
 func (k *Kernel) resume(t *Thread) {
 	t.state = threadRunning
 	k.current = t
+	tr := k.tracer
+	var began sim.Cycles
+	if tr != nil {
+		began = k.eng.Now()
+	}
 	t.resume <- struct{}{}
 	kind := <-t.yielded
+	if tr != nil {
+		tr.ThreadSlice(uint32(t.curDomain), t.owner.Name, t.name, began, k.eng.Now(), kind.String())
+	}
 	k.current = nil
 	used := t.usedThisSlice
 	t.usedThisSlice = 0
@@ -304,6 +351,9 @@ func (k *Kernel) finishThread(t *Thread) {
 	t.refundCharges()
 	delete(k.threads, t)
 	k.Burn(t.owner, k.model.ThreadExit)
+	if tr := k.tracer; tr != nil {
+		tr.ThreadExit(uint32(t.curDomain), t.owner.Name, t.name, k.eng.Now())
+	}
 }
 
 // makeRunnable puts a blocked or new thread on the run queue. Safe from

@@ -33,6 +33,24 @@ const (
 	yieldKilled
 )
 
+// String names the way a slice ended, for trace events.
+func (y yieldKind) String() string {
+	switch y {
+	case yieldYielded:
+		return "yield"
+	case yieldBlocked:
+		return "block"
+	case yieldPaused:
+		return "pause"
+	case yieldExited:
+		return "exit"
+	case yieldKilled:
+		return "kill"
+	default:
+		return fmt.Sprintf("yieldKind(%d)", int(y))
+	}
+}
+
 // killSentinel is the panic value used to unwind a killed thread's
 // goroutine; exitSentinel unwinds a voluntary Ctx.Exit.
 type sentinel int
@@ -149,6 +167,9 @@ func (k *Kernel) Spawn(owner *core.Owner, name string, fn Fn, opts SpawnOpts) *T
 	if !opts.NoCharge {
 		k.Burn(owner, k.model.ThreadSpawn+k.AccountingTax())
 	}
+	if tr := k.tracer; tr != nil {
+		tr.ThreadSpawn(uint32(t.curDomain), owner.Name, name, k.eng.Now())
+	}
 
 	go func() {
 		<-t.resume
@@ -256,6 +277,9 @@ func (c *Ctx) Use(n sim.Cycles) {
 	limit := c.t.owner.Limits.MaxRunCycles
 	if limit > 0 && c.t.sinceYield > limit && !c.t.killed {
 		c.k.Logf("runaway: thread %q exceeded %d cycles without yield", c.t.name, limit)
+		if tr := c.k.tracer; tr != nil {
+			tr.Policy("maxRuntime", c.t.owner.Name, c.t.name, c.Now())
+		}
 		if c.k.OnRunaway != nil {
 			c.k.OnRunaway(c.t)
 		}
@@ -336,8 +360,12 @@ func (c *Ctx) Cross(target domain.ID, fn func()) {
 		fn()
 		return
 	}
+	tr := c.k.tracer
 	if !c.crossingAllowed(t.curDomain, target) {
 		c.k.Logf("protection fault: thread %q cross %d->%d denied", t.name, t.curDomain, target)
+		if tr != nil {
+			tr.Policy("protFault", t.owner.Name, t.name, c.Now())
+		}
 		if c.k.OnProtFault != nil {
 			c.k.OnProtFault(t)
 		}
@@ -345,9 +373,16 @@ func (c *Ctx) Cross(target domain.ID, fn func()) {
 		panic(killSentinel)
 	}
 	m := c.k.model
+	var began sim.Cycles
+	if tr != nil {
+		began = c.Now()
+	}
 	// Entry crossing.
 	c.Use(m.CrossDomainCall)
 	c.k.tlb.Flush()
+	if tr != nil {
+		tr.TLBFlush(uint32(target), t.owner.Name, c.Now())
+	}
 	if !t.stacks[target] && target != domain.KernelID {
 		t.stacks[target] = true
 		t.owner.ChargeStacks(1)
@@ -367,9 +402,15 @@ func (c *Ctx) Cross(target domain.ID, fn func()) {
 		t.owner.ChargeCycles(m.CrossDomainCall)
 		c.k.eng.ConsumeCPU(m.CrossDomainCall)
 		c.k.tlb.Flush()
+		if tr != nil {
+			tr.TLBFlush(uint32(from), t.owner.Name, c.k.eng.Now())
+		}
 		if c.k.tlb.Touch(from) {
 			t.owner.ChargeCycles(m.TLBMissPenalty)
 			c.k.eng.ConsumeCPU(m.TLBMissPenalty)
+		}
+		if tr != nil {
+			tr.Cross(t.owner.Name, uint32(from), uint32(target), began, c.k.eng.Now())
 		}
 	}()
 	fn()

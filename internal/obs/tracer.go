@@ -1,0 +1,444 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Tracer records typed lifecycle events with virtual-cycle timestamps.
+// Events are buffered and rendered as one Chrome trace_event JSON
+// document on Close; the optional text sink streams as events happen.
+//
+// Every method is safe (and allocation-free) on a nil receiver, so
+// instrumented subsystems can hold a nil *Tracer when tracing is off.
+// In the trace, the "process" (pid) is the protection domain and the
+// "thread" (tid) is a per-owner track, assigned in first-seen order.
+type Tracer struct {
+	json io.Writer
+	text io.Writer
+
+	events  []event
+	tids    map[string]uint32
+	nextTid uint32
+	named   map[uint64]bool   // pid<<32|tid pairs with thread_name metadata emitted
+	procs   map[uint32]string // pid -> process (domain) name
+}
+
+type kvArg struct{ k, v string }
+
+type event struct {
+	ph    byte // 'X' complete span, 'i' instant
+	cat   string
+	name  string
+	pid   uint32
+	tid   uint32
+	ts    sim.Cycles
+	dur   sim.Cycles
+	args  [3]kvArg
+	nargs int
+}
+
+// engineTid is the reserved track for engine-level events (event
+// fires); owner tracks start at 1.
+const engineTid uint32 = 0
+
+func newTracer(json, text io.Writer) *Tracer {
+	return &Tracer{
+		json:    json,
+		text:    text,
+		tids:    map[string]uint32{},
+		nextTid: engineTid + 1,
+		named:   map[uint64]bool{},
+		procs:   map[uint32]string{},
+	}
+}
+
+// Events reports the number of buffered events (0 on a nil tracer).
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Process registers a protection domain's name for the trace's
+// process metadata (shown as the track group title in Perfetto).
+func (t *Tracer) Process(pid uint32, name string) {
+	if t == nil {
+		return
+	}
+	t.procs[pid] = name
+}
+
+// track returns the tid for an owner name, assigning one (and noting
+// that thread_name metadata is needed for this pid/tid pair) on first
+// sight.
+func (t *Tracer) track(pid uint32, owner string) uint32 {
+	tid, ok := t.tids[owner]
+	if !ok {
+		tid = t.nextTid
+		t.nextTid++
+		t.tids[owner] = tid
+	}
+	key := uint64(pid)<<32 | uint64(tid)
+	if !t.named[key] {
+		t.named[key] = true
+	}
+	return tid
+}
+
+func (t *Tracer) emit(ev event) {
+	t.events = append(t.events, ev)
+	if t.text != nil {
+		t.textLine(ev)
+	}
+}
+
+func (t *Tracer) textLine(ev event) {
+	kind := "span"
+	if ev.ph == 'i' {
+		kind = "inst"
+	}
+	fmt.Fprintf(t.text, "[%12d] %s %s.%s pid=%d tid=%d", uint64(ev.ts), kind, ev.cat, ev.name, ev.pid, ev.tid)
+	if ev.ph == 'X' {
+		fmt.Fprintf(t.text, " dur=%d", uint64(ev.dur))
+	}
+	for i := 0; i < ev.nargs; i++ {
+		fmt.Fprintf(t.text, " %s=%q", ev.args[i].k, ev.args[i].v)
+	}
+	fmt.Fprintln(t.text)
+}
+
+// EngineFire records one event-handler execution on the engine track
+// (sim.Engine fires the handler with interrupts masked, so the span is
+// the full interrupt-processing time). Zero-duration fires are elided.
+func (t *Tracer) EngineFire(began, ended sim.Cycles) {
+	if t == nil || ended == began {
+		return
+	}
+	t.emit(event{ph: 'X', cat: "engine", name: "fire", pid: 0, tid: engineTid, ts: began, dur: ended - began})
+}
+
+// Idle records a span the CPU spent idle (charged to the Idle
+// pseudo-owner, per Table 1).
+func (t *Tracer) Idle(began, ended sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'X', cat: "engine", name: "idle", pid: 0, ts: began, dur: ended - began}
+	ev.tid = t.track(0, "Idle")
+	t.emit(ev)
+}
+
+// Syscall records one kernel entry: the op name, the issuing domain
+// and owner, and whether the ACL denied it.
+func (t *Tracer) Syscall(dom uint32, owner, op string, began, ended sim.Cycles, denied bool) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'X', cat: "syscall", name: op, pid: dom, ts: began, dur: ended - began}
+	ev.tid = t.track(dom, owner)
+	if denied {
+		ev.args[0] = kvArg{"result", "denied"}
+		ev.nargs = 1
+	}
+	t.emit(ev)
+}
+
+// ThreadSpawn records thread creation.
+func (t *Tracer) ThreadSpawn(dom uint32, owner, thread string, at sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'i', cat: "thread", name: "spawn", pid: dom, ts: at}
+	ev.tid = t.track(dom, owner)
+	ev.args[0] = kvArg{"thread", thread}
+	ev.nargs = 1
+	t.emit(ev)
+}
+
+// ThreadSlice records one scheduling slice: from the kernel handing
+// the CPU to the thread until it came back, with the reason it came
+// back ("yield", "block", "pause", "exit", "kill").
+func (t *Tracer) ThreadSlice(dom uint32, owner, thread string, began, ended sim.Cycles, end string) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'X', cat: "thread", name: "slice", pid: dom, ts: began, dur: ended - began}
+	ev.tid = t.track(dom, owner)
+	ev.args[0] = kvArg{"thread", thread}
+	ev.args[1] = kvArg{"end", end}
+	ev.nargs = 2
+	t.emit(ev)
+}
+
+// ThreadExit records thread retirement.
+func (t *Tracer) ThreadExit(dom uint32, owner, thread string, at sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'i', cat: "thread", name: "exit", pid: dom, ts: at}
+	ev.tid = t.track(dom, owner)
+	ev.args[0] = kvArg{"thread", thread}
+	ev.nargs = 1
+	t.emit(ev)
+}
+
+// Cross records a kernel-mediated protection-domain crossing (§3.2),
+// spanning entry to return; the span lives in the target domain's
+// process group.
+func (t *Tracer) Cross(owner string, from, to uint32, began, ended sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'X', cat: "domain", name: "cross", pid: to, ts: began, dur: ended - began}
+	ev.tid = t.track(to, owner)
+	ev.args[0] = kvArg{"from", strconv.Itoa(int(from))}
+	ev.args[1] = kvArg{"to", strconv.Itoa(int(to))}
+	ev.nargs = 2
+	t.emit(ev)
+}
+
+// TLBFlush records a full TLB invalidation (the OSF1 PAL bug: every
+// crossing flushes, which is what makes the worst-case configuration
+// pay reload penalties — Figure 9's larger Accounting_PD slowdown).
+func (t *Tracer) TLBFlush(dom uint32, owner string, at sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'i', cat: "domain", name: "tlbFlush", pid: dom, ts: at}
+	ev.tid = t.track(dom, owner)
+	t.emit(ev)
+}
+
+// PathCreate records an incremental pathCreate walk (§3.1).
+func (t *Tracer) PathCreate(path string, stages int, began, ended sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'X', cat: "path", name: "pathCreate", pid: 0, ts: began, dur: ended - began}
+	ev.tid = t.track(0, path)
+	ev.args[0] = kvArg{"stages", strconv.Itoa(stages)}
+	ev.nargs = 1
+	t.emit(ev)
+}
+
+// PathDestroy records an orderly pathDestroy (destructors run).
+func (t *Tracer) PathDestroy(path string, began, ended sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'X', cat: "path", name: "pathDestroy", pid: 0, ts: began, dur: ended - began}
+	ev.tid = t.track(0, path)
+	t.emit(ev)
+}
+
+// PathKill records a summary pathKill — the containment primitive
+// measured in Table 2 — with the cycles reclamation took.
+func (t *Tracer) PathKill(path string, reclaimed sim.Cycles, began, ended sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'X', cat: "path", name: "pathKill", pid: 0, ts: began, dur: ended - began}
+	ev.tid = t.track(0, path)
+	ev.args[0] = kvArg{"cycles", strconv.FormatUint(uint64(reclaimed), 10)}
+	ev.nargs = 1
+	t.emit(ev)
+}
+
+// Demux records one demultiplexing decision at interrupt time (§2.2):
+// outcome is "found" (module chain), "pattern" (classifier fast
+// path), or "reject"; detail is the identified path's name, or the
+// reject reason. Rejects land on a shared "interrupt" track since no
+// owner was identified.
+func (t *Tracer) Demux(entry, outcome, detail string, began, ended sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'X', cat: "path", name: "demux", pid: 0, ts: began, dur: ended - began}
+	ev.args[0] = kvArg{"entry", entry}
+	ev.args[1] = kvArg{"outcome", outcome}
+	if outcome == "reject" {
+		ev.tid = t.track(0, "interrupt")
+		ev.args[2] = kvArg{"reason", detail}
+	} else {
+		ev.tid = t.track(0, detail)
+		ev.args[2] = kvArg{"path", detail}
+	}
+	ev.nargs = 3
+	t.emit(ev)
+}
+
+// IOBufAlloc records an IOBuffer allocation (§3.3) and whether it was
+// served from the no-cleaning reuse cache.
+func (t *Tracer) IOBufAlloc(owner string, pages int, hit bool, at sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'i', cat: "iobuf", name: "alloc", pid: 0, ts: at}
+	ev.tid = t.track(0, owner)
+	ev.args[0] = kvArg{"pages", strconv.Itoa(pages)}
+	cache := "miss"
+	if hit {
+		cache = "hit"
+	}
+	ev.args[1] = kvArg{"cache", cache}
+	ev.nargs = 2
+	t.emit(ev)
+}
+
+// IOBufLock records a buffer lock (write permission revoked so the
+// contents can be validated once and trusted).
+func (t *Tracer) IOBufLock(owner string, at sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'i', cat: "iobuf", name: "lock", pid: 0, ts: at}
+	ev.tid = t.track(0, owner)
+	t.emit(ev)
+}
+
+// Policy records a policy trigger (§4.4): kind is "synCapDrop",
+// "maxRuntime", "protFault", "penaltyRecord", or "penaltyRoute";
+// owner names the track the event lands on; detail is free-form.
+func (t *Tracer) Policy(kind, owner, detail string, at sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'i', cat: "policy", name: kind, pid: 0, ts: at}
+	ev.tid = t.track(0, owner)
+	if detail != "" {
+		ev.args[0] = kvArg{"detail", detail}
+		ev.nargs = 1
+	}
+	t.emit(ev)
+}
+
+// flush renders the buffered events as one Chrome trace_event JSON
+// document. Timestamps are microseconds of virtual time (cycles /
+// 300 at the simulated 300 MHz clock), formatted with fixed precision
+// so identical runs produce identical bytes.
+func (t *Tracer) flush() error {
+	if t.json == nil {
+		return nil
+	}
+	w := bufio.NewWriterSize(t.json, 1<<16)
+	if _, err := w.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	sep := func() {
+		if !first {
+			w.WriteString(",\n")
+		}
+		first = false
+	}
+	var buf []byte
+
+	// Metadata: process names (domains) sorted by pid, then owner
+	// track names in first-seen (deterministic) order.
+	pids := make([]uint32, 0, len(t.procs))
+	for pid := range t.procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		sep()
+		buf = buf[:0]
+		buf = append(buf, `{"name":"process_name","ph":"M","pid":`...)
+		buf = strconv.AppendUint(buf, uint64(pid), 10)
+		buf = append(buf, `,"args":{"name":`...)
+		buf = strconv.AppendQuote(buf, t.procs[pid])
+		buf = append(buf, "}}"...)
+		w.Write(buf)
+	}
+	type namedTrack struct {
+		pid, tid uint32
+		name     string
+	}
+	var tracks []namedTrack
+	for owner, tid := range t.tids {
+		for key := range t.named {
+			if uint32(key) == tid {
+				tracks = append(tracks, namedTrack{pid: uint32(key >> 32), tid: tid, name: owner})
+			}
+		}
+	}
+	tracks = append(tracks, namedTrack{pid: 0, tid: engineTid, name: "engine"})
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	for _, tr := range tracks {
+		sep()
+		buf = buf[:0]
+		buf = append(buf, `{"name":"thread_name","ph":"M","pid":`...)
+		buf = strconv.AppendUint(buf, uint64(tr.pid), 10)
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendUint(buf, uint64(tr.tid), 10)
+		buf = append(buf, `,"args":{"name":`...)
+		buf = strconv.AppendQuote(buf, tr.name)
+		buf = append(buf, "}}"...)
+		w.Write(buf)
+	}
+
+	for i := range t.events {
+		ev := &t.events[i]
+		sep()
+		buf = buf[:0]
+		buf = append(buf, `{"name":`...)
+		buf = strconv.AppendQuote(buf, ev.name)
+		buf = append(buf, `,"cat":`...)
+		buf = strconv.AppendQuote(buf, ev.cat)
+		buf = append(buf, `,"ph":"`...)
+		buf = append(buf, ev.ph)
+		buf = append(buf, `","ts":`...)
+		buf = appendMicros(buf, ev.ts)
+		if ev.ph == 'X' {
+			buf = append(buf, `,"dur":`...)
+			buf = appendMicros(buf, ev.dur)
+		}
+		if ev.ph == 'i' {
+			buf = append(buf, `,"s":"t"`...)
+		}
+		buf = append(buf, `,"pid":`...)
+		buf = strconv.AppendUint(buf, uint64(ev.pid), 10)
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendUint(buf, uint64(ev.tid), 10)
+		if ev.nargs > 0 {
+			buf = append(buf, `,"args":{`...)
+			for a := 0; a < ev.nargs; a++ {
+				if a > 0 {
+					buf = append(buf, ',')
+				}
+				buf = strconv.AppendQuote(buf, ev.args[a].k)
+				buf = append(buf, ':')
+				buf = strconv.AppendQuote(buf, ev.args[a].v)
+			}
+			buf = append(buf, '}')
+		}
+		buf = append(buf, '}')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// appendMicros formats a cycle count as microseconds of virtual time
+// with fixed 3-digit precision (cycle resolution at 300 MHz is 1/300
+// µs, so three digits lose nothing that matters and keep the output
+// deterministic).
+func appendMicros(buf []byte, c sim.Cycles) []byte {
+	return strconv.AppendFloat(buf, float64(c)/float64(sim.CyclesPerMicrosecond), 'f', 3, 64)
+}

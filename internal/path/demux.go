@@ -3,6 +3,7 @@ package path
 import (
 	"repro/internal/module"
 	"repro/internal/msg"
+	"repro/internal/sim"
 )
 
 // maxDemuxSteps bounds the module chain a single demux may walk.
@@ -17,6 +18,22 @@ const maxDemuxSteps = 32
 // is charged to the identified path, or to the entry module's domain
 // when the message is rejected.
 func (mgr *Manager) Demux(entry string, m *msg.Msg) (*Path, module.Verdict) {
+	tr := mgr.tracer
+	if tr == nil {
+		return mgr.demux(entry, m)
+	}
+	began := mgr.k.Engine().Now()
+	p, v := mgr.demux(entry, m)
+	now := mgr.k.Engine().Now()
+	if p != nil {
+		tr.Demux(entry, "found", p.name, began, now)
+	} else {
+		tr.Demux(entry, "reject", v.Reason, began, now)
+	}
+	return p, v
+}
+
+func (mgr *Manager) demux(entry string, m *msg.Msg) (*Path, module.Verdict) {
 	k := mgr.k
 	model := k.Model()
 	dc := &module.DemuxCtx{Graph: mgr.graph}
@@ -85,7 +102,15 @@ func (mgr *Manager) DeliverInbound(entry string, m *msg.Msg) bool {
 			if p, isPath := target.(*Path); isPath && p.alive {
 				k := mgr.k
 				model := k.Model()
+				tr := mgr.tracer
+				var began sim.Cycles
+				if tr != nil {
+					began = k.Engine().Now()
+				}
 				k.Burn(&p.Owner, model.Interrupt+model.PathFinderMatch+k.AccountingTax())
+				if tr != nil {
+					tr.Demux(entry, "pattern", p.name, began, k.Engine().Now())
+				}
 				mgr.PatternHits++
 				return p.EnqueueIn(m) == nil
 			}

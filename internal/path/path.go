@@ -19,6 +19,7 @@ import (
 	"repro/internal/lib"
 	"repro/internal/module"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -334,6 +335,7 @@ type Manager struct {
 	graph   *module.Graph
 	paths   map[*Path]struct{}
 	byOwner map[*core.Owner]*Path
+	tracer  *obs.Tracer // resolved once from the kernel; nil when disabled
 
 	classifier FrameClassifier
 
@@ -353,6 +355,7 @@ func NewManager(g *module.Graph) *Manager {
 		graph:   g,
 		paths:   make(map[*Path]struct{}),
 		byOwner: make(map[*core.Owner]*Path),
+		tracer:  g.Kernel().Tracer(),
 	}
 }
 
@@ -396,6 +399,11 @@ func (mgr *Manager) Create(ctx *kernel.Ctx, name, start string, attrs lib.Attrs)
 func (mgr *Manager) create(ctx *kernel.Ctx, name, start string, attrs lib.Attrs) (*Path, error) {
 	k := mgr.k
 	model := k.Model()
+	tr := mgr.tracer
+	var began sim.Cycles
+	if tr != nil {
+		began = k.Engine().Now()
+	}
 
 	p := &Path{
 		Owner: core.Owner{Name: name, Type: core.PathOwner},
@@ -489,6 +497,9 @@ func (mgr *Manager) create(ctx *kernel.Ctx, name, start string, attrs lib.Attrs)
 	p.alive = true
 	mgr.paths[p] = struct{}{}
 	mgr.byOwner[&p.Owner] = p
+	if tr != nil {
+		tr.PathCreate(name, len(p.stages), began, k.Engine().Now())
+	}
 	return p, nil
 }
 
@@ -516,6 +527,11 @@ func (mgr *Manager) Destroy(ctx *kernel.Ctx, p *Path) {
 		return
 	}
 	p.alive = false
+	tr := mgr.tracer
+	var began sim.Cycles
+	if tr != nil {
+		began = mgr.k.Engine().Now()
+	}
 	model := mgr.k.Model()
 	for _, rec := range p.stages {
 		rec := rec
@@ -542,6 +558,9 @@ func (mgr *Manager) Destroy(ctx *kernel.Ctx, p *Path) {
 	mgr.k.DestroyOwner(&p.Owner, false)
 	delete(mgr.paths, p)
 	delete(mgr.byOwner, &p.Owner)
+	if tr != nil {
+		tr.PathDestroy(p.name, began, mgr.k.Engine().Now())
+	}
 }
 
 // Kill is pathKill: reclaim every resource the path owns, in every
@@ -563,7 +582,11 @@ func (mgr *Manager) Kill(p *Path) sim.Cycles {
 	mgr.k.DestroyOwner(&p.Owner, true)
 	delete(mgr.paths, p)
 	delete(mgr.byOwner, &p.Owner)
-	return mgr.k.Engine().Now() - start
+	reclaimed := mgr.k.Engine().Now() - start
+	if tr := mgr.tracer; tr != nil {
+		tr.PathKill(p.name, reclaimed, start, mgr.k.Engine().Now())
+	}
+	return reclaimed
 }
 
 // dropDomainHooks deregisters the path's domain destroy hooks.

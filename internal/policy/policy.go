@@ -15,10 +15,13 @@
 package policy
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/lib"
 	"repro/internal/module"
+	"repro/internal/obs"
 	"repro/internal/path"
 	"repro/internal/proto/tcp"
 	"repro/internal/sim"
@@ -137,6 +140,10 @@ type PenaltyBox struct {
 
 	// Recorded counts offender registrations (including repeats).
 	Recorded uint64
+
+	// Tracer, when non-nil, receives a penaltyRecord policy event per
+	// registration.
+	Tracer *obs.Tracer
 }
 
 // NewPenaltyBox returns an empty penalty box on the given clock.
@@ -148,6 +155,14 @@ func NewPenaltyBox(eng interface{ Now() sim.Cycles }, expiry sim.Cycles) *Penalt
 func (pb *PenaltyBox) Record(srcIP uint32) {
 	pb.Recorded++
 	pb.offenders[srcIP] = pb.eng.Now()
+	if tr := pb.Tracer; tr != nil {
+		tr.Policy("penaltyRecord", "PenaltyBox", formatIP(srcIP), pb.eng.Now())
+	}
+}
+
+// formatIP renders a source address in dotted-quad form for trace events.
+func formatIP(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
 }
 
 // IsOffender reports whether the address is currently boxed.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/module"
 	"repro/internal/msg"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pathfinder"
 	"repro/internal/proto/wire"
 	"repro/internal/sim"
@@ -122,6 +123,7 @@ type Module struct {
 	node    *module.Node
 	factory module.PathFactory
 	k       *kernel.Kernel
+	tracer  *obs.Tracer // resolved once at Init; nil when tracing is off
 
 	conns     *lib.Hash // ConnKey -> *conn
 	listeners []*Listener
@@ -186,6 +188,7 @@ func (m *Module) Init(ic *module.InitCtx) error {
 	m.node = ic.Node
 	m.factory = ic.Paths
 	m.k = ic.K
+	m.tracer = ic.K.Tracer()
 	masterOwner := m.k.NewOwner("TCP Master Event", core.DomainOwner)
 	m.k.RegisterEvent(masterOwner, "TCP Master Event", m.MasterPeriod, m.MasterPeriod, m.masterTick)
 	return nil
@@ -392,6 +395,9 @@ func (m *Module) Demux(dc *module.DemuxCtx, mm *msg.Msg) module.Verdict {
 		}
 		if l.SynCap > 0 && l.SynRecvd >= l.SynCap {
 			l.DroppedSyn++
+			if tr := m.tracer; tr != nil {
+				tr.Policy("synCapDrop", l.path.PathName(), l.TrustClass, m.k.Engine().Now())
+			}
 			return module.Reject("tcp: SYN_RECVD budget exhausted")
 		}
 		return module.Found(l.path)
@@ -441,6 +447,9 @@ func (s *passiveStage) Deliver(ctx *kernel.Ctx, dir module.Direction, mm *msg.Ms
 	}
 	if s.l.SynCap > 0 && s.l.SynRecvd >= s.l.SynCap {
 		s.l.DroppedSyn++
+		if tr := m.tracer; tr != nil {
+			tr.Policy("synCapDrop", s.l.path.PathName(), s.l.TrustClass, m.k.Engine().Now())
+		}
 		return false, nil
 	}
 	s.serial++

@@ -1,6 +1,9 @@
 // Package sim provides the deterministic discrete-event engine that drives
 // the Escort simulation. Time is measured in virtual CPU cycles of the
-// simulated server (300 MHz Alpha in the paper). The engine supports the
+// simulated server (the 300 MHz Alpha 21064 of the paper's testbed,
+// §4.1.1); every cycle the clock advances is attributable to exactly one
+// cause, which is what lets the reproduction check the paper's Table 1
+// "Total Accounted == Total Measured" invariant. The engine supports the
 // one unusual operation the reproduction depends on: ConsumeCPU, which
 // advances the clock by a given amount of CPU work while firing any events
 // that fall due inside the interval. Because event handlers may themselves
@@ -55,7 +58,16 @@ type Engine struct {
 	// IdleSink, when non-nil, receives the cycles spent idle in
 	// AdvanceToNextEvent and AdvanceTo. The kernel points this at the
 	// Idle pseudo-owner so idle time shows up in the ledger (Table 1).
+	// It is invoked after the clock has advanced past the idle span, so
+	// Now() is the span's end.
 	IdleSink func(Cycles)
+
+	// OnFire, when non-nil, is called after each event handler returns
+	// with the interval the handler occupied: began is the fire time,
+	// ended is Now() after the handler's own CPU consumption. The
+	// observability layer uses it to trace interrupt processing without
+	// sim importing the tracer.
+	OnFire func(began, ended Cycles)
 }
 
 // New returns an engine with the clock at zero.
@@ -178,10 +190,11 @@ func (e *Engine) AdvanceTo(t Cycles) {
 		e.fire()
 	}
 	if t > e.now {
-		if e.IdleSink != nil {
-			e.IdleSink(t - e.now)
-		}
+		idle := t - e.now
 		e.now = t
+		if e.IdleSink != nil {
+			e.IdleSink(idle)
+		}
 	}
 }
 
@@ -217,9 +230,13 @@ func (e *Engine) fire() {
 	}
 	fn := ev.fn
 	ev.fn = nil
+	began := e.now
 	e.masked++
 	fn()
 	e.masked--
+	if e.OnFire != nil {
+		e.OnFire(began, e.now)
+	}
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). A hand-rolled heap
