@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race lint fmt fmt-check vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the in-tree analyzer suite (see STATIC_ANALYSIS.md).
+lint:
+	$(GO) run ./cmd/escort-lint ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# check is what CI runs (minus the networked staticcheck/govulncheck job).
+check: fmt-check vet build lint test

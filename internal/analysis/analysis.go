@@ -1,0 +1,193 @@
+// Package analysis is a minimal, self-contained analogue of the
+// golang.org/x/tools/go/analysis Analyzer/Pass model, built entirely on
+// the standard library's go/ast and go/types. It exists so the repo can
+// machine-check Escort's invariants (accounting balance, simulator
+// determinism, zero-cost observability) without pulling an external
+// module: the container this grows in has no network, so the framework
+// is vendored in spirit — same shape, tiny surface.
+//
+// An Analyzer inspects one type-checked package at a time through a
+// Pass and reports Diagnostics. The driver (internal/analysis/driver)
+// loads packages, runs analyzers, applies suppression comments, and
+// formats findings; internal/analysis/analysistest runs an analyzer
+// over a fixture package and checks diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //escort:ignore suppression comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description: the invariant guarded and
+	// what a finding means.
+	Doc string
+
+	// Run inspects the package in pass and reports findings through
+	// pass.Report / pass.Reportf. A non-nil error aborts the whole lint
+	// run (reserved for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, plus the reporting callback.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	// FileNames[i] is the file name of Files[i] as loaded.
+	FileNames []string
+
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Deps is the set of import paths (module-local and standard
+	// library, transitive) the package depends on. Analyzers use it to
+	// scope themselves, e.g. determinism applies only to packages
+	// downstream of repro/internal/sim.
+	Deps map[string]bool
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Report delivers a finding to the driver.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf formats and delivers a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewPass assembles a Pass; the driver and analysistest use it.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, names []string,
+	pkg *types.Package, info *types.Info, deps map[string]bool, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer: a, Fset: fset, Files: files, FileNames: names,
+		Pkg: pkg, TypesInfo: info, Deps: deps, report: report,
+	}
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Several analyzers exempt tests: tests construct kernel objects
+// raw and call emit methods unguarded on purpose.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// WithStack walks every node under root, invoking fn with the path of
+// ancestors (root first, parent of n last). Returning false prunes the
+// subtree below n. It is the stdlib-only stand-in for
+// x/tools/go/ast/inspector's WithStack.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if !fn(n, stack) {
+			return
+		}
+		stack = append(stack, n)
+		for _, c := range children(n) {
+			walk(c)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	walk(root)
+}
+
+// children returns the direct child nodes of n in source order.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first { // the node itself
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false // don't descend: only direct children
+	})
+	return out
+}
+
+// LineComments indexes a file's comments by line so analyzers and the
+// driver can honor line-anchored annotations such as
+// //escort:ignore and //escort:held.
+type LineComments map[int][]string
+
+// CollectLineComments builds the line -> comment-text index for a file.
+func CollectLineComments(fset *token.FileSet, f *ast.File) LineComments {
+	lc := LineComments{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			line := fset.Position(c.Pos()).Line
+			lc[line] = append(lc[line], c.Text)
+		}
+	}
+	return lc
+}
+
+// HasAnnotation reports whether the given line, or the line directly
+// above it, carries a comment of the form "//escort:<verb> ..." whose
+// argument list names want (or "all" for escort:ignore).
+func (lc LineComments) HasAnnotation(line int, verb, want string) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, text := range lc[l] {
+			rest, ok := strings.CutPrefix(strings.TrimSpace(text), "//escort:"+verb)
+			if !ok {
+				continue
+			}
+			if verb == "held" {
+				// escort:held takes a free-form reason; presence is enough.
+				return true
+			}
+			fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+			for _, f := range fields {
+				if f == want || f == "all" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// SortDiagnostics orders findings by position for stable output.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}

@@ -1,0 +1,191 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// A fixture is a directory of .go files forming one package, usually
+// testdata/src/<name> next to the analyzer's test. Lines that should be
+// flagged carry a trailing comment:
+//
+//	leak()        // want `error return leaks ChargeKmem`
+//	x, y = f(), 1 // want "first finding" "second finding"
+//
+// Each quoted string is a regexp that must match a diagnostic reported
+// on that line; every diagnostic must match a want and every want must
+// be matched, or the test fails. Fixtures may import real module
+// packages (repro/internal/core, repro/internal/obs, ...): imports
+// resolve through the same offline loader the lint driver uses.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRE extracts the quoted regexps of a // want comment.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run analyzes the fixture package in dir (relative to the test's
+// working directory) and asserts its diagnostics against the fixture's
+// // want comments. It returns the diagnostics for extra assertions.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	l := load.NewLoader(moduleRoot(t), false)
+	fset := l.Fset()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("analysistest: no .go files in %s", dir)
+	}
+
+	wants := map[string][]*wantEntry{} // "file:line" -> expectations
+	var files []*ast.File
+	var fileNames []string
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		af, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", full, err)
+		}
+		files = append(files, af)
+		fileNames = append(fileNames, full)
+		for _, cg := range af.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					raw := m[2] // `...` form: taken verbatim
+					if raw == "" {
+						// "..." form: interpret string-literal escapes
+						if uq, err := strconv.Unquote(`"` + m[1] + `"`); err == nil {
+							raw = uq
+						} else {
+							raw = m[1]
+						}
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("analysistest: bad want regexp %q at %s: %v", raw, key, err)
+					}
+					wants[key] = append(wants[key], &wantEntry{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	// Type-check the fixture as its own little package; module imports
+	// resolve through the loader, stdlib through the source importer.
+	info := load.NewInfo()
+	cfg := types.Config{Importer: l.Importer()}
+	pkgPath := filepath.Base(dir)
+	tpkg, err := cfg.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: type-check %s: %v", dir, err)
+	}
+
+	// The fixture's dependency set: its direct imports plus everything
+	// the loader knows they pull in (so scope checks like "imports
+	// repro/internal/sim transitively" behave as in a real run).
+	deps := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			ip, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			deps[ip] = true
+			for d := range l.DepsOf(ip) {
+				deps[d] = true
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, fset, files, fileNames, tpkg, info, deps,
+		func(d analysis.Diagnostic) { diags = append(diags, d) })
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
+	}
+	analysis.SortDiagnostics(fset, diags)
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.raw)
+			}
+		}
+	}
+	return diags
+}
+
+// moduleRoot walks up from the test's working directory to the
+// directory containing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("analysistest: no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

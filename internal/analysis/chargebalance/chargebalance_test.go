@@ -1,0 +1,13 @@
+package chargebalance
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestChargeBalance(t *testing.T) {
+	defer func(old []string) { AllocScope = old }(AllocScope)
+	AllocScope = []string{"a"} // fixture package path
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

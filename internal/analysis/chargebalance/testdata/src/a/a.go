@@ -1,0 +1,140 @@
+// Fixture for the chargebalance analyzer: every Charge* must be
+// balanced on every exit path by a refund, a release, tracking, a
+// releasing call, or escape of the charged owner.
+package a
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/lib"
+)
+
+type object struct {
+	owner *core.Owner
+	node  lib.Node
+}
+
+// ReleaseOwned implements core.Tracked.
+func (o *object) ReleaseOwned(kill bool) {}
+
+func leakOnError(o *core.Owner, fail bool) error {
+	o.ChargeKmem(64)
+	if fail {
+		return errors.New("boom") // want `error return leaks ChargeKmem from line \d+`
+	}
+	o.RefundKmem(64)
+	return nil
+}
+
+func balanced(o *core.Owner, fail bool) error {
+	o.ChargeKmem(64)
+	if fail {
+		o.RefundKmem(64)
+		return errors.New("boom")
+	}
+	o.RefundKmem(64)
+	return nil
+}
+
+func deferredRefund(o *core.Owner, fail bool) error {
+	o.ChargeKmem(64)
+	defer o.RefundKmem(64)
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func deferredClosure(o *core.Owner, fail bool) error {
+	o.ChargeKmem(32)
+	defer func() {
+		o.RefundKmem(32)
+	}()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// newObject is the constructor pattern: charge, then hand the object to
+// the owner's tracking lists; ReleaseAll refunds it at teardown.
+func newObject(owner *core.Owner) *object {
+	obj := &object{owner: owner}
+	owner.ChargeKmem(64)
+	owner.Track(core.TrackPages, &obj.node)
+	return obj
+}
+
+func rawAlloc(owner *core.Owner) *object {
+	return &object{owner: owner} // want `raw allocation of tracked type`
+}
+
+func neverBalanced(o *core.Owner) {
+	o.ChargePages(1) // want `ChargePages is never balanced`
+}
+
+func heldCharge(o *core.Owner) {
+	o.ChargeStacks(1) //escort:held refunded by the peer domain at teardown
+}
+
+// escapes hands the charged owner back to the caller even on error; the
+// caller owns the balance.
+func escapes(name string, fail bool) (*core.Owner, error) {
+	o := core.NewOwner(name, core.PathOwner)
+	o.ChargeKmem(8)
+	if fail {
+		return o, errors.New("partial")
+	}
+	return o, nil
+}
+
+func releaseViaHelper(o *core.Owner, fail bool) error {
+	o.ChargeKmem(16)
+	if fail {
+		abort(o)
+		return errors.New("boom")
+	}
+	o.RefundKmem(16)
+	return nil
+}
+
+func abort(o *core.Owner) {
+	o.RefundKmem(16)
+}
+
+func releaseAllOnError(o *core.Owner, fail bool) error {
+	o.ChargeEvent()
+	if fail {
+		o.ReleaseAll(true)
+		return errors.New("boom")
+	}
+	o.RefundEvent()
+	return nil
+}
+
+func multiKind(o *core.Owner, fail bool) error {
+	o.ChargeKmem(16)
+	o.ChargePages(1)
+	if fail {
+		o.RefundKmem(16)
+		return errors.New("boom") // want `error return leaks ChargePages`
+	}
+	o.RefundKmem(16)
+	o.RefundPages(1)
+	return nil
+}
+
+type domain struct {
+	core.Owner
+	quota uint64
+}
+
+func embeddedLeak(d *domain, fail bool) error {
+	d.ChargeKmem(32)
+	if fail {
+		return errors.New("grow failed") // want `error return leaks ChargeKmem`
+	}
+	d.RefundKmem(32)
+	return nil
+}

@@ -1,0 +1,284 @@
+// Package determinism guards the simulator's bit-reproducibility: the
+// golden-trace test (OBSERVABILITY.md) asserts byte-identical output
+// across runs, so any package downstream of repro/internal/sim must not
+// consult wall-clock time, the global math/rand generator, or let Go's
+// randomized map iteration order reach simulation state or an output
+// sink.
+//
+// The map-range rule is deliberately conservative about *writes*:
+// inside `for k, v := range m` it flags
+//
+//   - plain assignments through state declared outside the loop
+//     (x[k] = f(v), s.field = v) unless the assigned value is a
+//     constant (idempotent set-inserts like seen[k] = true are fine),
+//   - delete(outer, ...), channel sends and receives,
+//   - returning a value picked from the iteration,
+//   - fmt/io output calls, and
+//   - statement-level method calls on receivers declared outside the
+//     loop (their side effects happen in iteration order).
+//
+// Commutative accumulation (x += v, n++) is allowed: it is
+// order-independent. The fix is almost always to iterate sorted keys
+// or an insertion-ordered slice.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ScopePrefix limits the analyzer to packages under this import-path
+// prefix; SimPath is the package whose (transitive) importers are in
+// scope. Tests override both to point at fixtures.
+var (
+	ScopePrefix = "repro/internal/"
+	SimPath     = "repro/internal/sim"
+)
+
+// Analyzer is the determinism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand, and order-sensitive " +
+		"map iteration in simulator-downstream packages",
+	Run: run,
+}
+
+// randConstructors are the math/rand functions that build a local,
+// seedable generator — the sanctioned way to use randomness in the
+// simulator (internal/sim.Rand wraps one).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, ScopePrefix) {
+		return nil
+	}
+	if path != SimPath && !pass.Deps[SimPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			// Tests exercise these patterns deliberately (and their
+			// nondeterminism shows up as flakes, which CI catches on
+			// its own); the golden trace only covers shipped code.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkIdent(pass, n)
+			case *ast.RangeStmt:
+				if isMapRange(pass, n) {
+					checkMapRange(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkIdent flags wall-clock reads and global math/rand use.
+func checkIdent(pass *analysis.Pass, id *ast.Ident) {
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(id.Pos(),
+				"time.Now in simulator-downstream package %s: the golden trace requires virtual time only",
+				pass.Pkg.Path())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(id.Pos(),
+				"global rand.%s in simulator-downstream package %s: use a locally-seeded generator (sim.Rand) for reproducible runs",
+				fn.Name(), pass.Pkg.Path())
+		}
+	}
+}
+
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects a range-over-map body for order-sensitive
+// effects on state declared outside the loop.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	outer := func(e ast.Expr) bool { return rootIsOuter(pass, e, rng) }
+	flag := func(pos token.Pos, what string) {
+		pass.Reportf(pos,
+			"%s inside range over map depends on iteration order; iterate sorted keys or restructure",
+			what)
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is analyzed on its own; its body's
+			// effects relative to *this* loop are judged there too.
+			if n != rng && isMapRange(pass, n) {
+				return true
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN {
+				return true // := defines locals; op-assigns are commutative
+			}
+			for i, lhs := range n.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue // scalar/local rebinds are usually accumulators
+				}
+				if !outer(lhs) {
+					continue
+				}
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) && isConstant(pass, n.Rhs[i]) {
+					continue // idempotent set-insert: seen[k] = true
+				}
+				if keyedByRangeKey(pass, lhs, rng) {
+					continue // out[k] = v: one distinct key per iteration
+				}
+				flag(lhs.Pos(), "assignment to state declared outside the loop")
+			}
+		case *ast.SendStmt:
+			flag(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				flag(n.Pos(), "channel receive")
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				flag(n.Pos(), "returning a value picked from the iteration")
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkRangeCall(pass, call, rng, flag, outer)
+			}
+		case *ast.CallExpr:
+			// delete(outer, k) can appear anywhere, not just ExprStmt.
+			if isBuiltinDelete(pass, n) && len(n.Args) > 0 && outer(n.Args[0]) {
+				flag(n.Pos(), "delete on a map declared outside the loop")
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinDelete(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "delete" {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// checkRangeCall flags statement-level calls whose side effects land in
+// iteration order: fmt/io output and method calls on outer receivers.
+func checkRangeCall(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt,
+	flag func(token.Pos, string), outer func(ast.Expr) bool) {
+	if isBuiltinDelete(pass, call) {
+		return // handled by the delete case
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") ||
+			fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+			flag(call.Pos(), "fmt output")
+			return
+		}
+	}
+	// Method call: receiver rooted outside the loop, result discarded.
+	if selection, ok := pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		if outer(sel.X) {
+			flag(call.Pos(), "method call on a receiver declared outside the loop")
+		}
+	}
+}
+
+// keyedByRangeKey reports whether lhs is a map element indexed exactly
+// by the loop's key variable (out[k] = ...): each iteration then writes
+// a distinct key, so the result is independent of iteration order.
+func keyedByRangeKey(pass *analysis.Pass, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	idxID, ok := idx.Index.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pass.TypesInfo.ObjectOf(keyID)
+	if keyObj == nil || pass.TypesInfo.ObjectOf(idxID) != keyObj {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// rootIsOuter reports whether the base identifier of a selector/index
+// chain refers to an object declared outside the range statement (or is
+// too opaque to tell, which counts as outer).
+func rootIsOuter(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	root := rootIdent(e)
+	if root == nil {
+		return true
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Fixture for the determinism analyzer. The package imports
+// repro/internal/sim, putting it "downstream of the simulator" and in
+// scope; each function exercises one rule.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+var virtual sim.Cycles
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in simulator-downstream`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global rand\.Intn`
+}
+
+func localRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded locally: reproducible
+	return r.Intn(6)
+}
+
+func copyOut(m, out map[string]int) {
+	for k, v := range m {
+		out[k] = v // keyed by the range key: one distinct key per iteration
+	}
+}
+
+type lastSeen struct{ key string }
+
+func lastWins(m map[string]int, s *lastSeen) {
+	for k := range m {
+		s.key = k // want `assignment to state declared outside the loop`
+	}
+}
+
+func fixedKey(m, out map[string]int) {
+	for _, v := range m {
+		out["winner"] = v // want `assignment to state declared outside the loop`
+	}
+}
+
+func setUnion(m map[string]int) map[string]bool {
+	seen := map[string]bool{}
+	for k := range m {
+		seen[k] = true // idempotent insert: order-independent
+	}
+	return seen
+}
+
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative: fine
+	}
+	return total
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort: the sanctioned idiom
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func send(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside range over map`
+	}
+}
+
+func pickOne(m map[string]int) int {
+	for _, v := range m {
+		return v // want `returning a value picked from the iteration`
+	}
+	return 0
+}
+
+func printAll(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt output inside range over map`
+	}
+}
+
+func pruneOther(m, other map[string]int) {
+	for k := range m {
+		delete(other, k) // want `delete on a map declared outside the loop`
+	}
+}
+
+type sink struct{ vals []int }
+
+func (s *sink) add(v int) { s.vals = append(s.vals, v) }
+
+func methodOnOuter(m map[string]int) {
+	var s sink
+	for _, v := range m {
+		s.add(v) // want `method call on a receiver declared outside the loop`
+	}
+}

@@ -1,0 +1,106 @@
+// Package driver runs a set of analyzers over module packages and
+// renders their findings: the multichecker behind cmd/escort-lint.
+//
+// Findings can be suppressed per line with a comment on the flagged
+// line (or the line above):
+//
+//	//escort:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// "all" suppresses every analyzer. Use sparingly — the point of the
+// suite is that accounting and determinism hazards stay visible.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Options configures a lint run.
+type Options struct {
+	// Dir is the module root for package loading ("" = cwd).
+	Dir string
+	// Patterns are go list package patterns (default ./...).
+	Patterns []string
+	// Tests includes _test.go files and external test packages.
+	Tests bool
+	// Analyzers to run.
+	Analyzers []*analysis.Analyzer
+}
+
+// Run executes the analyzers and writes findings to w, one per line:
+//
+//	path:line:col: message [analyzer]
+//
+// It returns the number of (unsuppressed) findings.
+func Run(opts Options, w io.Writer) (int, error) {
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l := load.NewLoader(opts.Dir, opts.Tests)
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+
+	var all []analysis.Diagnostic
+	for _, p := range pkgs {
+		// Line-comment index per file, for //escort:ignore.
+		comments := map[string]analysis.LineComments{}
+		for i, f := range p.Files {
+			comments[p.FileNames[i]] = analysis.CollectLineComments(l.Fset(), f)
+		}
+		for _, a := range opts.Analyzers {
+			pass := analysis.NewPass(a, l.Fset(), p.Files, p.FileNames, p.Types, p.Info, p.Deps,
+				func(d analysis.Diagnostic) {
+					pos := l.Fset().Position(d.Pos)
+					if lc, ok := comments[pos.Filename]; ok &&
+						lc.HasAnnotation(pos.Line, "ignore", d.Analyzer) {
+						return
+					}
+					all = append(all, d)
+				})
+			if err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("%s: %s: %v", p.ImportPath, a.Name, err)
+			}
+		}
+	}
+
+	analysis.SortDiagnostics(l.Fset(), all)
+	for _, d := range all {
+		pos := l.Fset().Position(d.Pos)
+		name := relPath(opts.Dir, pos.Filename)
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	return len(all), nil
+}
+
+func relPath(dir, name string) string {
+	if dir == "" {
+		dir = "."
+	}
+	abs, err1 := filepath.Abs(dir)
+	if err1 != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(abs, name); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return name
+}
+
+// FileOf returns the *ast.File in pass containing pos (nil if absent).
+func FileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package obsguard
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestObsGuard(t *testing.T) {
+	// The fixture imports the real repro/internal/obs, so the default
+	// ObsPath applies unchanged.
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

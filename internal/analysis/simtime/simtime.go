@@ -1,0 +1,66 @@
+// Package simtime forbids wall-clock time inside the simulation:
+// everything under internal/ runs on virtual cycles (sim.Cycles), so
+// any use of time.Now, time.Sleep, timers, or tickers is a bug — it
+// couples simulated behavior to host scheduling and breaks the golden
+// trace's byte-for-byte determinism. Wall-clock measurement belongs to
+// the outer harness (cmd/escort-bench measures real elapsed time around
+// a whole run; that is outside this analyzer's scope).
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ScopePrefix limits the analyzer to packages whose import path starts
+// with this prefix. Tests override it to point at fixtures.
+var ScopePrefix = "repro/internal/"
+
+// forbidden lists the package-level time functions that read or wait on
+// the wall clock. Conversions and constants (time.Duration,
+// time.Millisecond) remain fine: they are just arithmetic.
+var forbidden = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+	"Since": true, "Until": true,
+}
+
+// Analyzer is the simtime analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock time APIs (time.Now, time.Sleep, timers) in " +
+		"internal/ simulation packages; virtual cycles only",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), ScopePrefix) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on time.Time/Timer values, not clock reads
+			}
+			if forbidden[fn.Name()] {
+				pass.Reportf(id.Pos(),
+					"wall-clock time.%s in simulation package %s: use virtual cycles (sim.Cycles) via the engine instead",
+					fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package simtime
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSimtime(t *testing.T) {
+	defer func(old string) { ScopePrefix = old }(ScopePrefix)
+	ScopePrefix = "" // fixture package path is just "a"
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

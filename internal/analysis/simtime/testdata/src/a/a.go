@@ -1,0 +1,25 @@
+// Fixture for the simtime analyzer: wall-clock reads and waits are
+// flagged; duration arithmetic and time.Time construction are not.
+package a
+
+import "time"
+
+const pollInterval = 5 * time.Millisecond // arithmetic only: fine
+
+func bad() {
+	start := time.Now() // want `wall-clock time\.Now`
+	_ = start
+	time.Sleep(pollInterval)       // want `wall-clock time\.Sleep`
+	<-time.After(time.Millisecond) // want `wall-clock time\.After`
+	tick := time.NewTicker(1)      // want `wall-clock time\.NewTicker`
+	tick.Stop()
+	tm := time.NewTimer(1) // want `wall-clock time\.NewTimer`
+	tm.Stop()
+}
+
+func ok(d time.Duration) time.Duration {
+	epoch := time.Unix(0, 0) // construction, not a clock read
+	later := epoch.Add(d)    // method on a value: fine
+	_ = later
+	return d * 2
+}

@@ -64,7 +64,13 @@ func (later Snapshot) Diff(earlier Snapshot) Delta {
 		Measured: later.At - earlier.At,
 		ByOwner:  make(map[string]sim.Cycles),
 	}
-	for name, c := range later.Cycles {
+	names := make([]string, 0, len(later.Cycles))
+	for name := range later.Cycles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := later.Cycles[name]
 		prev := earlier.Cycles[name]
 		if c > prev {
 			d.ByOwner[name] = c - prev

@@ -179,9 +179,7 @@ func NewTLB() *TLB {
 // Flush invalidates all mappings (charged by the crossing gate).
 func (t *TLB) Flush() {
 	t.flushes++
-	for k := range t.warm {
-		delete(t.warm, k)
-	}
+	clear(t.warm)
 }
 
 // Touch records execution in a domain and reports whether its mappings

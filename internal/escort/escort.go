@@ -9,6 +9,7 @@ package escort
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cost"
 	"repro/internal/fs"
@@ -262,8 +263,13 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 		})
 	}
 
-	for name, content := range opt.Docs {
-		s.FS.AddFile(name, content)
+	docNames := make([]string, 0, len(opt.Docs))
+	for name := range opt.Docs {
+		docNames = append(docNames, name)
+	}
+	sort.Strings(docNames)
+	for _, name := range docNames {
+		s.FS.AddFile(name, opt.Docs[name])
 	}
 
 	g := module.NewGraph(k)
@@ -414,6 +420,9 @@ func (s *Server) Completed() uint64 { return s.TCP.Completed }
 // Stop unwinds the kernel's threads (test hygiene) after taking a
 // final metrics sample so the exported series covers the whole run.
 func (s *Server) Stop() {
-	s.K.Metrics().Final(s.K.Engine().Now())
+	m := s.K.Metrics()
+	if m != nil {
+		m.Final(s.K.Engine().Now())
+	}
 	s.K.Stop()
 }

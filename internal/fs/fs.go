@@ -8,6 +8,7 @@ package fs
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/domain"
 	"repro/internal/iobuf"
@@ -258,7 +259,13 @@ func (m *Module) SetBudgetForTest(budget int) {
 	m.cached = make(map[string]bool)
 	m.lru = nil
 	m.used = 0
-	for name, hold := range m.bufs {
+	names := make([]string, 0, len(m.bufs))
+	for name := range m.bufs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hold := m.bufs[name]
 		delete(m.bufs, name)
 		m.iom.Unlock(nil, hold)
 	}

@@ -76,7 +76,10 @@ type Kernel struct {
 	kernelOwner    *core.Owner // the privileged domain's owner
 
 	current *Thread
-	threads map[*Thread]struct{}
+	// threads holds every live thread in spawn order. A slice, not a
+	// set: Stop and DestroyOwner walk it, and walking a map would make
+	// teardown order (and therefore the trace) differ run to run.
+	threads []*Thread
 
 	ticks uint64 // softclock ticks (1 ms system timer)
 
@@ -116,7 +119,6 @@ func New(eng *sim.Engine, model *cost.Model, cfg Config) *Kernel {
 		tlb:     domain.NewTLB(),
 		sch:     sched.New(cfg.Scheduler),
 		acl:     NewACL(),
-		threads: make(map[*Thread]struct{}),
 		tracer:  cfg.Tracer,
 		metrics: cfg.Metrics,
 	}
@@ -264,9 +266,14 @@ func (k *Kernel) Run(until sim.Cycles) {
 	// cycle has been fully charged to an owner, so each sample satisfies
 	// the Table 1 invariant (summed owner cycles == Now) exactly. The
 	// deferred poll covers the early return on the idle-to-deadline path.
-	defer func() { k.metrics.Poll(k.eng.Now()) }()
+	m := k.metrics
+	if m != nil {
+		defer func() { m.Poll(k.eng.Now()) }()
+	}
 	for k.eng.Now() < until && !k.stopped {
-		k.metrics.Poll(k.eng.Now())
+		if m != nil {
+			m.Poll(k.eng.Now())
+		}
 		if t := k.paused; t != nil {
 			k.paused = nil
 			k.resume(t)
@@ -349,7 +356,7 @@ func (k *Kernel) finishThread(t *Thread) {
 	k.sch.Remove(t)
 	t.owner.Untrack(core.TrackThreads, &t.node)
 	t.refundCharges()
-	delete(k.threads, t)
+	k.removeThread(t)
 	k.Burn(t.owner, k.model.ThreadExit)
 	if tr := k.tracer; tr != nil {
 		tr.ThreadExit(uint32(t.curDomain), t.owner.Name, t.name, k.eng.Now())
@@ -373,13 +380,24 @@ func (k *Kernel) Stop() {
 	if k.softclockEv != nil {
 		k.eng.Cancel(k.softclockEv)
 	}
-	for t := range k.threads {
+	for _, t := range append([]*Thread(nil), k.threads...) {
 		t.killed = true
 		if t.state != threadDead {
 			t.resume <- struct{}{}
 			<-t.yielded
 			t.state = threadDead
-			delete(k.threads, t)
+			k.removeThread(t)
+		}
+	}
+}
+
+// removeThread drops t from the live-thread list, preserving spawn
+// order for the remaining threads.
+func (k *Kernel) removeThread(t *Thread) {
+	for i, x := range k.threads {
+		if x == t {
+			k.threads = append(k.threads[:i], k.threads[i+1:]...)
+			return
 		}
 	}
 }

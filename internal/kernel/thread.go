@@ -163,7 +163,7 @@ func (k *Kernel) Spawn(owner *core.Owner, name string, fn Fn, opts SpawnOpts) *T
 	owner.ChargeKmem(threadKmem)
 	owner.ChargeStacks(1) // home stack
 	owner.Track(core.TrackThreads, &t.node)
-	k.threads[t] = struct{}{}
+	k.threads = append(k.threads, t)
 	if !opts.NoCharge {
 		k.Burn(owner, k.model.ThreadSpawn+k.AccountingTax())
 	}
@@ -385,7 +385,7 @@ func (c *Ctx) Cross(target domain.ID, fn func()) {
 	}
 	if !t.stacks[target] && target != domain.KernelID {
 		t.stacks[target] = true
-		t.owner.ChargeStacks(1)
+		t.owner.ChargeStacks(1) //escort:held per-domain stack, refunded by refundCharges at thread exit
 		c.Use(m.StackSetup)
 	}
 	t.crossStack = append(t.crossStack, t.curDomain)

@@ -3,6 +3,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 )
@@ -152,9 +153,17 @@ func (h *Heap) release(o *Obj) {
 // total released. This implements the module destructor's job for path
 // teardown, and the kernel's reclamation sweep for pathKill.
 func (h *Heap) ReleaseFor(owner *core.Owner) int {
-	set := h.byOwner[owner]
+	// Release in address order: release() mutates the free list (and the
+	// byOwner set itself), so iterating the set directly would make the
+	// coalescing order — and the resulting span layout — depend on map
+	// iteration order.
+	objs := make([]*Obj, 0, len(h.byOwner[owner]))
+	for o := range h.byOwner[owner] {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].start < objs[j].start })
 	total := 0
-	for o := range set {
+	for _, o := range objs {
 		total += o.size
 		h.release(o)
 	}
@@ -215,7 +224,7 @@ func (h *Heap) grow(atLeast int) error {
 	h.spaceEnd += b.Bytes()
 	// The domain's kmem balance holds the heap's free bytes, so the sum of
 	// every owner's kmem equals the bytes backed by domain pages.
-	h.domain.ChargeKmem(uint64(b.Bytes()))
+	h.domain.ChargeKmem(uint64(b.Bytes())) //escort:held heap backing bytes; refunded in Destroy, rebalanced per-object in alloc/release
 	return nil
 }
 

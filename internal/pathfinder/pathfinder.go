@@ -17,6 +17,7 @@ package pathfinder
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -181,8 +182,16 @@ func (cl *Classifier) Remove(name string) bool {
 	}
 	delete(cl.patterns, name)
 	cl.root = nil
-	for _, p := range cl.patterns {
-		cl.insert(p)
+	// Rebuild in name order: insertion order shapes the DAG (which line
+	// becomes the trunk, which land in others), so a map-order rebuild
+	// would give a run-dependent — though equivalent — structure.
+	names := make([]string, 0, len(cl.patterns))
+	for n := range cl.patterns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cl.insert(cl.patterns[n])
 	}
 	return true
 }
@@ -241,9 +250,14 @@ func (cl *Classifier) String() string {
 		for _, p := range n.leaves {
 			fmt.Fprintf(&b, "%s-> %s (prio %d)\n", pad, p.Name, p.Priority)
 		}
-		for v, child := range n.branches {
+		vals := make([]string, 0, len(n.branches))
+		for v := range n.branches {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
 			fmt.Fprintf(&b, "%s =%x:\n", pad, []byte(v))
-			dump(child, depth+1)
+			dump(n.branches[v], depth+1)
 		}
 		for _, alt := range n.others {
 			dump(alt, depth)

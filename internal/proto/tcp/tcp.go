@@ -81,6 +81,10 @@ const (
 	initialWindow = 1 * wire.MSS
 	maxWindow     = 64 * 1024
 	advertised    = 64000
+
+	// tcbKmem is the TCB's kernel-memory charge against the connection
+	// path's owner, held from CreateStage until dropConn.
+	tcbKmem = 256
 )
 
 // Listener is a passive path's registration: one per (port, trust
@@ -247,6 +251,15 @@ func (m *Module) dropConn(key uint64) {
 		c.listener.syncPattern()
 	}
 	c.state = StateClosed
+	// Return the TCB's kmem to the path owner. When the path was killed
+	// (pathKill marks the owner dead and zeroes its balances) the refund
+	// would underflow, so skip it — the kill already reclaimed everything.
+	if c.tcbCharged {
+		c.tcbCharged = false
+		if o := c.path.PathOwner(); o != nil && !o.Dead() {
+			o.RefundKmem(tcbKmem)
+		}
+	}
 }
 
 func connPatternName(key uint64) string {
@@ -356,7 +369,7 @@ func (m *Module) CreateStage(pb module.PathBuilder, attrs lib.Attrs) (module.Sta
 		listener.SynRecvd++
 		listener.syncPattern()
 	}
-	pb.PathOwner().ChargeKmem(256) // TCB
+	pb.PathOwner().ChargeKmem(tcbKmem) //escort:held TCB; refunded by dropConn at connection teardown
 	c.tcbCharged = true
 	// Connection setup work (TCB init, sequence selection) belongs to
 	// the connection's own path.
