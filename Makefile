@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check vet check
+.PHONY: all build test race lint fmt fmt-check vet check bench bench-smoke
 
 all: check
 
@@ -31,3 +31,18 @@ vet:
 
 # check is what CI runs (minus the networked staticcheck/govulncheck job).
 check: fmt-check vet build lint test
+
+# bench regenerates BENCH_3.json: conn/s per Figure 8 point, the sweep
+# runner's sims/sec (serial vs parallel), and the engine hot path's
+# ns/op + allocs/op. See DESIGN.md's Performance section.
+bench:
+	{ $(GO) test -run '^$$' -bench 'Fig8' -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'Engine' -benchmem ./internal/sim; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_3.json
+	@cat BENCH_3.json
+
+# bench-smoke is the CI guard: one iteration of every Figure 8
+# benchmark under the race detector, so the parallel sweep path stays
+# race-clean without paying for a full benchmark run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Fig8' -benchtime 1x -race .

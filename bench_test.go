@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/experiment/runner"
 	"repro/internal/sim"
 )
 
@@ -87,6 +88,39 @@ func BenchmarkFig8AccountingPD10K(b *testing.B) {
 
 func BenchmarkFig8Linux10K(b *testing.B) {
 	benchRate(b, experiment.ConfigLinux, experiment.Doc10K, 16)
+}
+
+// Full Figure 8 sweep over all four configurations, serial vs fanned
+// across one worker per CPU. The pair measures the runner's wall-clock
+// win directly: conn/s (and every other output) must match between the
+// two, while sims/sec — whole host simulations completed per wall-clock
+// second — scales with cores.
+
+func benchFig8Sweep(b *testing.B, workers int) {
+	b.Helper()
+	sc := benchScale()
+	sc.Workers = workers
+	docs := []experiment.DocSpec{experiment.Doc1B}
+	var rate float64
+	sims := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig8(sc, docs, experiment.AllConfigs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = rows[len(rows)-1].ConnPS
+		sims += len(rows)
+	}
+	b.ReportMetric(rate, "conn/s")
+	b.ReportMetric(float64(sims)/b.Elapsed().Seconds(), "sims/sec")
+}
+
+func BenchmarkFig8SweepSerial1B(b *testing.B) {
+	benchFig8Sweep(b, 1)
+}
+
+func BenchmarkFig8SweepParallel1B(b *testing.B) {
+	benchFig8Sweep(b, runner.DefaultWorkers())
 }
 
 // Table 1: accounting accuracy — reports cycles/request and the

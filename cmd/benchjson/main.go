@@ -1,0 +1,103 @@
+// Command benchjson converts the text output of `go test -bench` (with
+// -benchmem) on stdin into a machine-readable JSON document on stdout.
+// `make bench` pipes the repository's benchmark suites through it to
+// produce BENCH_3.json: conn/s per figure point, whole-host sims/sec
+// for the sweep runner, and ns/op + allocs/op for the engine hot path.
+//
+// The parser accepts concatenated output from several `go test -bench`
+// invocations: each "pkg:" header applies to the benchmark lines that
+// follow it, and goos/goarch/cpu headers are recorded once.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line: the benchmark's name (including the
+// -GOMAXPROCS suffix go test appends), its package, the iteration
+// count, and every reported metric keyed by unit (ns/op, conn/s,
+// sims/sec, B/op, allocs/op, ...).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole BENCH_3.json document.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
+
+func parse(sc *bufio.Scanner) (Doc, error) {
+	doc := Doc{Benchmarks: []Benchmark{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseBenchLine(line)
+			if err != nil {
+				return doc, err
+			}
+			if ok {
+				b.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses "BenchmarkName-N  iters  v1 unit1  v2 unit2 ...".
+// Lines that start with "Benchmark" but don't fit the shape (e.g. a
+// benchmark's own log output) are skipped rather than fatal.
+func parseBenchLine(line string) (Benchmark, bool, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("%s: bad metric value %q", f[0], f[i])
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true, nil
+}

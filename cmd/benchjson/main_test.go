@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkFig8Scout1B-1         	      14	  75676284 ns/op	     785.0 conn/s	 1986544 B/op	  197756 allocs/op
+BenchmarkFig8SweepParallel1B-1 	       4	 302000000 ns/op	     785.0 conn/s	      13.2 sims/sec
+PASS
+ok  	repro	3.211s
+pkg: repro/internal/sim
+BenchmarkEngineScheduleFire-1  	25000000	        45.89 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/sim	1.402s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("headers: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	fig8 := doc.Benchmarks[0]
+	if fig8.Name != "BenchmarkFig8Scout1B-1" || fig8.Pkg != "repro" || fig8.Iterations != 14 {
+		t.Fatalf("fig8: %+v", fig8)
+	}
+	if fig8.Metrics["conn/s"] != 785.0 || fig8.Metrics["allocs/op"] != 197756 {
+		t.Fatalf("fig8 metrics: %+v", fig8.Metrics)
+	}
+	sweep := doc.Benchmarks[1]
+	if sweep.Metrics["sims/sec"] != 13.2 {
+		t.Fatalf("sweep metrics: %+v", sweep.Metrics)
+	}
+	eng := doc.Benchmarks[2]
+	if eng.Pkg != "repro/internal/sim" || eng.Metrics["ns/op"] != 45.89 || eng.Metrics["allocs/op"] != 0 {
+		t.Fatalf("engine: %+v", eng)
+	}
+}
+
+func TestParseSkipsMalformedBenchmarkLines(t *testing.T) {
+	in := "BenchmarkLog output from a benchmark\nBenchmarkOdd-1 3 fields\n"
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("got %+v, want none", doc.Benchmarks)
+	}
+}

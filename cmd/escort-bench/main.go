@@ -6,7 +6,11 @@
 // Usage:
 //
 //	escort-bench -exp fig8|table1|table2|fig9|fig10|fig11|all [-scale quick|paper]
-//	             [-trace base.json] [-metrics base.csv]
+//	             [-parallel=false] [-trace base.json] [-metrics base.csv]
+//
+// Figure sweeps fan their points across one worker per CPU by default;
+// every point is an independent simulation, so -parallel=false produces
+// byte-identical output (only slower).
 //
 // -trace and -metrics enable per-run observability on the figure
 // sweeps: each testbed run writes its own file, derived from the base
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/experiment/runner"
 	"repro/internal/obs"
 )
 
@@ -43,6 +48,7 @@ func sinkFor(base, label string) *os.File {
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig8, table1, table2, fig9, fig10, fig11, all")
 	scaleName := flag.String("scale", "paper", "sweep scale: quick or paper")
+	parallel := flag.Bool("parallel", true, "fan sweep points across one worker per CPU (results are identical either way)")
 	traceBase := flag.String("trace", "", "write per-run Chrome trace JSON files derived from this base path")
 	metricsBase := flag.String("metrics", "", "write per-run metrics CSV files derived from this base path")
 	flag.Parse()
@@ -56,6 +62,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
+	}
+	if *parallel {
+		sc.Workers = runner.DefaultWorkers()
 	}
 
 	if *traceBase != "" || *metricsBase != "" {

@@ -39,6 +39,16 @@ var (
 	SimPath     = "repro/internal/sim"
 )
 
+// AlwaysOn lists packages that are in scope even though they do not
+// import SimPath. The sweep runner is the canonical case: it never
+// touches an engine itself — it only hands point indices to workers —
+// but a wall-clock read or global rand draw there would still leak
+// nondeterminism into every sweep it runs, so it obeys the same rules
+// as simulator-downstream code.
+var AlwaysOn = map[string]bool{
+	"repro/internal/experiment/runner": true,
+}
+
 // Analyzer is the determinism analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
@@ -60,7 +70,7 @@ func run(pass *analysis.Pass) error {
 	if !strings.HasPrefix(path, ScopePrefix) {
 		return nil
 	}
-	if path != SimPath && !pass.Deps[SimPath] {
+	if path != SimPath && !AlwaysOn[path] && !pass.Deps[SimPath] {
 		return nil
 	}
 	for _, f := range pass.Files {

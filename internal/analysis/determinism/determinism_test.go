@@ -11,3 +11,24 @@ func TestDeterminism(t *testing.T) {
 	ScopePrefix = "" // fixture package path is just "a"
 	analysistest.Run(t, Analyzer, "testdata/src/a")
 }
+
+// TestAlwaysOnPackageIsInScope covers the runner carve-out: a package
+// that does not import sim is still analyzed when listed in AlwaysOn.
+func TestAlwaysOnPackageIsInScope(t *testing.T) {
+	defer func(old string) { ScopePrefix = old }(ScopePrefix)
+	ScopePrefix = ""
+	AlwaysOn["b"] = true
+	defer delete(AlwaysOn, "b")
+	analysistest.Run(t, Analyzer, "testdata/src/b")
+}
+
+// TestNonSimPackageOutOfScope pins the gate itself: without an AlwaysOn
+// entry, a package that does not import sim gets no diagnostics even
+// though it reads the wall clock.
+func TestNonSimPackageOutOfScope(t *testing.T) {
+	defer func(old string) { ScopePrefix = old }(ScopePrefix)
+	ScopePrefix = ""
+	if diags := analysistest.Run(t, Analyzer, "testdata/src/c"); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,17 @@
+// Fixture for the AlwaysOn scope mechanism: this package does NOT
+// import repro/internal/sim, so it is only analyzed when its path is
+// listed in determinism.AlwaysOn (as the real sweep runner is).
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in simulator-downstream`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global rand\.Intn`
+}

@@ -1,0 +1,10 @@
+// Fixture for the scope gate: this package neither imports
+// repro/internal/sim nor appears in determinism.AlwaysOn, so the
+// analyzer must stay silent despite the wall-clock read below.
+package c
+
+import "time"
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // out of scope: no diagnostic expected
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/experiment/runner"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -20,10 +21,19 @@ type Scale struct {
 	Clients []int
 	CGICnts []int
 
+	// Workers is the number of concurrent OS-level workers the figure
+	// sweeps fan their points out across; 0 or 1 runs serially. Every
+	// sweep point is an independent simulation with its own engine and
+	// seeded RNGs, so results are identical at any setting (the parallel
+	// determinism test asserts this byte-for-byte).
+	Workers int
+
 	// Obs, when non-nil, is asked for an observability config for each
 	// figure run; the label encodes figure, document, configuration and
 	// sweep point (e.g. "fig8-doc1-Accounting-c8"). Table runs stay
-	// unobserved: their measurement is the ledger itself.
+	// unobserved: their measurement is the ledger itself. With
+	// Workers > 1 the factory is called from multiple goroutines and
+	// must be safe for concurrent use.
 	Obs ObsFactory
 }
 
@@ -67,25 +77,34 @@ type Fig8Row struct {
 
 // Fig8 reproduces Figure 8: the basic performance of the four
 // configurations in connections/second for 1 B, 1 KB and 10 KB
-// documents across the client sweep.
+// documents across the client sweep. Points run on sc.Workers workers;
+// each builds its own testbed, so the rows are identical at any setting.
 func Fig8(sc Scale, docs []DocSpec, configs []Config) ([]Fig8Row, error) {
-	var rows []Fig8Row
+	type point struct {
+		doc DocSpec
+		cfg Config
+		n   int
+	}
+	var pts []point
 	for _, doc := range docs {
 		for _, cfg := range configs {
 			for _, n := range sc.Clients {
-				label := fmt.Sprintf("fig8-%s-%s-c%d", strings.TrimPrefix(doc.Name, "/"), cfg, n)
-				tb, err := NewTestbed(cfg, Options{Obs: sc.obsFor(label)})
-				if err != nil {
-					return nil, err
-				}
-				tb.AddClients(n, doc.Name)
-				rate := tb.MeasureRate(sc.Warm, sc.Window)
-				tb.Close()
-				rows = append(rows, Fig8Row{Config: cfg, Doc: doc, Clients: n, ConnPS: rate})
+				pts = append(pts, point{doc, cfg, n})
 			}
 		}
 	}
-	return rows, nil
+	return runner.MapErr(len(pts), sc.Workers, func(i int) (Fig8Row, error) {
+		p := pts[i]
+		label := fmt.Sprintf("fig8-%s-%s-c%d", strings.TrimPrefix(p.doc.Name, "/"), p.cfg, p.n)
+		tb, err := NewTestbed(p.cfg, Options{Obs: sc.obsFor(label)})
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		tb.AddClients(p.n, p.doc.Name)
+		rate := tb.MeasureRate(sc.Warm, sc.Window)
+		tb.Close()
+		return Fig8Row{Config: p.cfg, Doc: p.doc, Clients: p.n, ConnPS: rate}, nil
+	})
 }
 
 // FormatFig8 renders the rows as one table per document.
@@ -314,35 +333,45 @@ type Fig9Row struct {
 
 // Fig9 reproduces Figure 9: best-effort performance under a 1000 SYN/s
 // attack from the untrusted subnet, with the §4.4.1 policy (separate
-// passive paths; drop over-budget SYNs at demux).
+// passive paths; drop over-budget SYNs at demux). Points fan out across
+// sc.Workers workers.
 func Fig9(sc Scale, docs []DocSpec) ([]Fig9Row, error) {
-	var rows []Fig9Row
+	type point struct {
+		doc    DocSpec
+		cfg    Config
+		attack bool
+		n      int
+	}
+	var pts []point
 	for _, doc := range docs {
 		for _, cfg := range []Config{ConfigAccounting, ConfigAccountingPD} {
 			for _, attack := range []bool{false, true} {
 				for _, n := range sc.Clients {
-					label := fmt.Sprintf("fig9-%s-%s-c%d-attack%v", strings.TrimPrefix(doc.Name, "/"), cfg, n, attack)
-					tb, err := NewTestbed(cfg, Options{SynCapUntrusted: 64, Obs: sc.obsFor(label)})
-					if err != nil {
-						return nil, err
-					}
-					tb.AddClients(n, doc.Name)
-					if attack {
-						tb.AddSynAttacker(1000)
-					}
-					rate := tb.MeasureRate(sc.Warm, sc.Window)
-					var drops uint64
-					if tb.Escort.Untrusted != nil {
-						drops = tb.Escort.Untrusted.DroppedSyn
-					}
-					tb.Close()
-					rows = append(rows, Fig9Row{Config: cfg, Doc: doc, Clients: n,
-						Attack: attack, ConnPS: rate, SynDrops: drops})
+					pts = append(pts, point{doc, cfg, attack, n})
 				}
 			}
 		}
 	}
-	return rows, nil
+	return runner.MapErr(len(pts), sc.Workers, func(i int) (Fig9Row, error) {
+		p := pts[i]
+		label := fmt.Sprintf("fig9-%s-%s-c%d-attack%v", strings.TrimPrefix(p.doc.Name, "/"), p.cfg, p.n, p.attack)
+		tb, err := NewTestbed(p.cfg, Options{SynCapUntrusted: 64, Obs: sc.obsFor(label)})
+		if err != nil {
+			return Fig9Row{}, err
+		}
+		tb.AddClients(p.n, p.doc.Name)
+		if p.attack {
+			tb.AddSynAttacker(1000)
+		}
+		rate := tb.MeasureRate(sc.Warm, sc.Window)
+		var drops uint64
+		if tb.Escort.Untrusted != nil {
+			drops = tb.Escort.Untrusted.DroppedSyn
+		}
+		tb.Close()
+		return Fig9Row{Config: p.cfg, Doc: p.doc, Clients: p.n,
+			Attack: p.attack, ConnPS: rate, SynDrops: drops}, nil
+	})
 }
 
 // FormatFig9 renders the figure as tables with slowdown columns.

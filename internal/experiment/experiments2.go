@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/experiment/runner"
 )
 
 // Fig10Row is one point of Figure 10: best-effort rate with and without
@@ -25,33 +27,42 @@ const QoSTarget = 1 << 20
 // stream on best-effort traffic, and the stream's own fidelity (the
 // paper: always within 1% of target).
 func Fig10(sc Scale, docs []DocSpec) ([]Fig10Row, error) {
-	var rows []Fig10Row
+	type point struct {
+		doc    DocSpec
+		cfg    Config
+		stream bool
+		n      int
+	}
+	var pts []point
 	for _, doc := range docs {
 		for _, cfg := range []Config{ConfigAccounting, ConfigAccountingPD} {
 			for _, stream := range []bool{false, true} {
 				for _, n := range sc.Clients {
-					label := fmt.Sprintf("fig10-%s-%s-c%d-stream%v", strings.TrimPrefix(doc.Name, "/"), cfg, n, stream)
-					tb, err := NewTestbed(cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label)})
-					if err != nil {
-						return nil, err
-					}
-					tb.AddClients(n, doc.Name)
-					if stream {
-						tb.AddQoSReceiver()
-					}
-					rate := tb.MeasureRate(sc.Warm, sc.Window)
-					row := Fig10Row{Config: cfg, Doc: doc, Clients: n, Stream: stream, ConnPS: rate}
-					if stream {
-						row.QoSRate = tb.QoS.RateBps(sc.Window)
-						row.QoSError = (row.QoSRate - QoSTarget) / QoSTarget
-					}
-					tb.Close()
-					rows = append(rows, row)
+					pts = append(pts, point{doc, cfg, stream, n})
 				}
 			}
 		}
 	}
-	return rows, nil
+	return runner.MapErr(len(pts), sc.Workers, func(i int) (Fig10Row, error) {
+		p := pts[i]
+		label := fmt.Sprintf("fig10-%s-%s-c%d-stream%v", strings.TrimPrefix(p.doc.Name, "/"), p.cfg, p.n, p.stream)
+		tb, err := NewTestbed(p.cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label)})
+		if err != nil {
+			return Fig10Row{}, err
+		}
+		tb.AddClients(p.n, p.doc.Name)
+		if p.stream {
+			tb.AddQoSReceiver()
+		}
+		rate := tb.MeasureRate(sc.Warm, sc.Window)
+		row := Fig10Row{Config: p.cfg, Doc: p.doc, Clients: p.n, Stream: p.stream, ConnPS: rate}
+		if p.stream {
+			row.QoSRate = tb.QoS.RateBps(sc.Window)
+			row.QoSError = (row.QoSRate - QoSTarget) / QoSTarget
+		}
+		tb.Close()
+		return row, nil
+	})
 }
 
 // FormatFig10 renders the figure.
@@ -134,33 +145,41 @@ type Fig11Row struct {
 // 2 ms of CPU before detection; pathKill then reclaims everything. The
 // QoS stream must stay within 1% throughout.
 func Fig11(sc Scale, docs []DocSpec, clients int) ([]Fig11Row, error) {
-	var rows []Fig11Row
+	type point struct {
+		doc DocSpec
+		cfg Config
+		atk int
+	}
+	var pts []point
 	for _, doc := range docs {
 		for _, cfg := range []Config{ConfigAccounting, ConfigAccountingPD} {
 			for _, atk := range sc.CGICnts {
-				label := fmt.Sprintf("fig11-%s-%s-cgi%d", strings.TrimPrefix(doc.Name, "/"), cfg, atk)
-				tb, err := NewTestbed(cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label)})
-				if err != nil {
-					return nil, err
-				}
-				tb.AddClients(clients, doc.Name)
-				tb.AddQoSReceiver()
-				tb.AddCGIAttackers(atk)
-				rate := tb.MeasureRate(sc.Warm, sc.Window)
-				row := Fig11Row{
-					Config:    cfg,
-					Doc:       doc,
-					Attackers: atk,
-					ConnPS:    rate,
-					QoSRate:   tb.QoS.RateBps(sc.Window),
-					Kills:     tb.Escort.Contain.Kills,
-				}
-				tb.Close()
-				rows = append(rows, row)
+				pts = append(pts, point{doc, cfg, atk})
 			}
 		}
 	}
-	return rows, nil
+	return runner.MapErr(len(pts), sc.Workers, func(i int) (Fig11Row, error) {
+		p := pts[i]
+		label := fmt.Sprintf("fig11-%s-%s-cgi%d", strings.TrimPrefix(p.doc.Name, "/"), p.cfg, p.atk)
+		tb, err := NewTestbed(p.cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label)})
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		tb.AddClients(clients, p.doc.Name)
+		tb.AddQoSReceiver()
+		tb.AddCGIAttackers(p.atk)
+		rate := tb.MeasureRate(sc.Warm, sc.Window)
+		row := Fig11Row{
+			Config:    p.cfg,
+			Doc:       p.doc,
+			Attackers: p.atk,
+			ConnPS:    rate,
+			QoSRate:   tb.QoS.RateBps(sc.Window),
+			Kills:     tb.Escort.Contain.Kills,
+		}
+		tb.Close()
+		return row, nil
+	})
 }
 
 // FormatFig11 renders the figure.

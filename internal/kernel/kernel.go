@@ -92,7 +92,7 @@ type Kernel struct {
 	// before the faulting thread's owner is destroyed.
 	OnProtFault func(t *Thread)
 
-	softclockEv *sim.Event
+	softclockEv sim.Event
 	stopped     bool
 
 	// paused holds a thread that hit the run deadline mid-slice; it is
@@ -377,9 +377,7 @@ func (k *Kernel) makeRunnable(t *Thread) {
 // goroutines leak. The kernel is unusable afterwards.
 func (k *Kernel) Stop() {
 	k.stopped = true
-	if k.softclockEv != nil {
-		k.eng.Cancel(k.softclockEv)
-	}
+	k.eng.Cancel(k.softclockEv)
 	for _, t := range append([]*Thread(nil), k.threads...) {
 		t.killed = true
 		if t.state != threadDead {

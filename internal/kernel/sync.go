@@ -154,7 +154,7 @@ type KEvent struct {
 	owner    *core.Owner
 	name     string
 	fn       Fn
-	ev       *sim.Event
+	ev       sim.Event
 	node     lib.Node
 	repeat   sim.Cycles
 	nextAt   sim.Cycles
@@ -227,9 +227,7 @@ func (e *KEvent) retire() {
 		return
 	}
 	e.canceled = true
-	if e.ev != nil {
-		e.k.eng.Cancel(e.ev)
-	}
+	e.k.eng.Cancel(e.ev)
 	if !e.owner.Dead() {
 		e.owner.RefundEvent()
 		e.owner.RefundKmem(eventKmem)

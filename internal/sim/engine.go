@@ -10,6 +10,13 @@
 // call ConsumeCPU (an interrupt handler charging its own cycles), the cost
 // of interrupt processing naturally delays the interrupted computation,
 // exactly as on real hardware.
+//
+// The scheduling core is allocation-free in steady state: event records
+// come from a per-engine freelist and are recycled after they fire or are
+// canceled, and the common short-delay schedule/cancel/fire operations go
+// through a hierarchical timer wheel in O(1); only events beyond the
+// wheel's horizon fall back to a binary heap. See DESIGN.md ("Performance")
+// for the layout and the exact-ordering argument.
 package sim
 
 import "fmt"
@@ -33,27 +40,67 @@ func (c Cycles) Seconds() float64 { return float64(c) / float64(CyclesPerSecond)
 // Milliseconds converts a cycle count to milliseconds.
 func (c Cycles) Milliseconds() float64 { return float64(c) / float64(CyclesPerMillisecond) }
 
-// Event is a scheduled callback. Events are single-shot; rescheduling is
-// done by the callback re-arming itself.
-type Event struct {
-	at       Cycles
-	seq      uint64 // tie-break so equal-time events fire in schedule order
-	idx      int    // heap index, -1 when not queued
-	fn       func()
-	canceled bool
+// event is the engine-owned record of a scheduled callback. Records are
+// pooled: after an event fires or is canceled its record returns to the
+// engine's freelist and its generation is bumped, so a stale Event handle
+// can never reach a recycled record.
+type event struct {
+	at  Cycles
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	gen uint64 // incremented on every release; Event handles capture it
+	fn  func()
+
+	// Queue position. Exactly one of the following is meaningful,
+	// selected by where.
+	idx         int    // heap index while in the overflow heap
+	level, slot uint16 // wheel coordinates while in the wheel
+	prev, next  *event // wheel slot list links (next doubles as freelist link)
+
+	where int8 // evFree, evWheel or evHeap
 }
 
-// At reports the cycle at which the event is (or was) scheduled to fire.
-func (ev *Event) At() Cycles { return ev.at }
+const (
+	evFree int8 = iota
+	evWheel
+	evHeap
+)
+
+// Event is a cancelable handle to a scheduled callback, returned by After
+// and AtTime. It is a small value (safe to copy, compare and overwrite);
+// the zero Event refers to nothing and Cancel on it is a no-op. Events are
+// single-shot; rescheduling is done by the callback re-arming itself. The
+// handle carries the generation of the record it was issued for, so a
+// handle kept after its event fired (or was canceled) is inert even once
+// the engine recycles the record for an unrelated event.
+type Event struct {
+	p   *event
+	gen uint64
+	at  Cycles
+}
+
+// IsZero reports whether the handle is the zero Event (never issued).
+func (h Event) IsZero() bool { return h.p == nil }
+
+// At reports the cycle at which the event was scheduled to fire.
+func (h Event) At() Cycles { return h.at }
 
 // Engine is a single-clock discrete-event simulator. It is not safe for
 // concurrent use; the Escort kernel guarantees only one coroutine touches
-// the engine at a time.
+// the engine at a time (the parallel sweep runner gives every worker its
+// own Engine).
 type Engine struct {
 	now    Cycles
-	queue  eventHeap
+	wheel  wheel
+	queue  eventHeap // overflow: events beyond the wheel horizon
+	free   *event    // freelist of recycled records, linked via next
 	seq    uint64
+	live   int // scheduled, not-yet-fired, not-canceled events
 	masked int // >0 while an event handler runs: interrupts are masked
+
+	// heapOnly disables the timer wheel so every event goes through the
+	// binary heap. It exists for the wheel/heap equivalence tests and as
+	// an ablation/debug escape hatch; see NewHeapOnly.
+	heapOnly bool
 
 	// IdleSink, when non-nil, receives the cycles spent idle in
 	// AdvanceToNextEvent and AdvanceTo. The kernel points this at the
@@ -75,51 +122,111 @@ func New() *Engine {
 	return &Engine{}
 }
 
+// NewHeapOnly returns an engine that schedules exclusively through the
+// binary heap, bypassing the timer wheel. Fire order is identical to New;
+// the equivalence property test runs the two side by side.
+func NewHeapOnly() *Engine {
+	return &Engine{heapOnly: true}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Cycles { return e.now }
 
-// Pending returns the number of scheduled (uncanceled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (uncanceled) events. It is a
+// counter maintained by schedule/cancel/fire, not a queue scan.
+func (e *Engine) Pending() int { return e.live }
 
-// After schedules fn to run delay cycles from now and returns the event so
+// After schedules fn to run delay cycles from now and returns a handle so
 // it can be canceled.
-func (e *Engine) After(delay Cycles, fn func()) *Event {
+func (e *Engine) After(delay Cycles, fn func()) Event {
 	return e.AtTime(e.now+delay, fn)
 }
 
 // AtTime schedules fn at an absolute cycle count. Scheduling in the past is
 // a programming error and panics: the simulation would silently reorder
 // history otherwise.
-func (e *Engine) AtTime(at Cycles, fn func()) *Event {
+func (e *Engine) AtTime(at Cycles, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, idx: -1}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	e.queue.push(ev)
-	return ev
+	e.live++
+	if e.heapOnly || !e.wheel.insert(ev, e.now) {
+		ev.where = evHeap
+		e.queue.push(ev)
+	}
+	return Event{p: ev, gen: ev.gen, at: at}
 }
 
 // Cancel removes a scheduled event. It reports whether the event was still
-// pending (false if it already fired or was canceled).
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.canceled || ev.idx < 0 {
+// pending (false for the zero handle, or if the event already fired or was
+// canceled — including when the record has since been recycled for a
+// different event, which the handle's generation detects).
+func (e *Engine) Cancel(h Event) bool {
+	ev := h.p
+	if ev == nil || ev.gen != h.gen {
 		return false
 	}
-	ev.canceled = true
-	e.queue.remove(ev)
+	// Generation matches, so the record still belongs to this handle's
+	// incarnation and is queued in exactly one structure.
+	switch ev.where {
+	case evWheel:
+		e.wheel.remove(ev)
+	case evHeap:
+		e.queue.remove(ev)
+	default:
+		panic("sim: live event in no queue")
+	}
+	e.live--
+	e.release(ev)
 	return true
+}
+
+// alloc takes an event record from the freelist, or makes one.
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		return &event{idx: -1}
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// release recycles a record: the generation bump invalidates every handle
+// issued for the old incarnation, and dropping fn releases the closure.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.prev = nil
+	ev.where = evFree
+	ev.idx = -1
+	ev.next = e.free
+	e.free = ev
+}
+
+// next returns the earliest pending event across wheel and overflow heap
+// without removing it, nil when none is pending.
+func (e *Engine) next() *event {
+	h := e.queue.peek()
+	if e.heapOnly {
+		return h
+	}
+	w := e.wheel.peek()
+	if w == nil {
+		return h
+	}
+	if h == nil || w.at < h.at || (w.at == h.at && w.seq < h.seq) {
+		return w
+	}
+	return h
 }
 
 // ConsumeCPU advances the clock by c cycles of CPU work. Events falling
@@ -139,7 +246,7 @@ func (e *Engine) ConsumeCPU(c Cycles) {
 	}
 	remaining := c
 	for remaining > 0 {
-		ev := e.queue.peek()
+		ev := e.next()
 		if ev == nil || ev.at >= e.now+remaining {
 			e.now += remaining
 			return
@@ -149,7 +256,7 @@ func (e *Engine) ConsumeCPU(c Cycles) {
 			e.now = ev.at
 			remaining -= step
 		}
-		e.fire() // overdue events fire immediately, without advancing
+		e.fire(ev) // overdue events fire immediately, without advancing
 	}
 }
 
@@ -157,7 +264,7 @@ func (e *Engine) ConsumeCPU(c Cycles) {
 // the next pending event and fires it, reporting the idle cycles skipped.
 // ok is false when no events are pending.
 func (e *Engine) AdvanceToNextEvent() (idle Cycles, ok bool) {
-	ev := e.queue.peek()
+	ev := e.next()
 	if ev == nil {
 		return 0, false
 	}
@@ -168,7 +275,7 @@ func (e *Engine) AdvanceToNextEvent() (idle Cycles, ok bool) {
 			e.IdleSink(idle)
 		}
 	}
-	e.fire()
+	e.fire(ev)
 	return idle, true
 }
 
@@ -176,7 +283,7 @@ func (e *Engine) AdvanceToNextEvent() (idle Cycles, ok bool) {
 // the way. Events exactly at t fire. Idle time is reported to IdleSink.
 func (e *Engine) AdvanceTo(t Cycles) {
 	for {
-		ev := e.queue.peek()
+		ev := e.next()
 		if ev == nil || ev.at > t {
 			break
 		}
@@ -187,7 +294,7 @@ func (e *Engine) AdvanceTo(t Cycles) {
 				e.IdleSink(idle)
 			}
 		}
-		e.fire()
+		e.fire(ev)
 	}
 	if t > e.now {
 		idle := t - e.now
@@ -203,33 +310,46 @@ func (e *Engine) AdvanceTo(t Cycles) {
 // traffic generators) that have no cycle-level CPU to model.
 func (e *Engine) Drain(limit Cycles) {
 	for {
-		ev := e.queue.peek()
+		ev := e.next()
 		if ev == nil || ev.at > limit {
 			return
 		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
-		e.fire()
+		e.fire(ev)
 	}
 }
 
 // NextEventAt reports the time of the earliest pending event.
 func (e *Engine) NextEventAt() (Cycles, bool) {
-	ev := e.queue.peek()
+	ev := e.next()
 	if ev == nil {
 		return 0, false
 	}
 	return ev.at, true
 }
 
-func (e *Engine) fire() {
-	ev := e.queue.pop()
-	if ev.canceled {
-		return
+// fire removes ev (the earliest pending event, as returned by next), runs
+// its handler with interrupts masked, and recycles the record. The record
+// goes back to the freelist before the handler runs, so a handler that
+// re-arms immediately reuses it without allocating.
+func (e *Engine) fire(ev *event) {
+	at := ev.at
+	switch ev.where {
+	case evWheel:
+		e.wheel.remove(ev)
+	case evHeap:
+		e.queue.remove(ev)
 	}
+	if !e.heapOnly {
+		// ev was the global minimum, so the wheel floor may advance to
+		// its due time: future placements measure their horizon from it.
+		e.wheel.advance(at)
+	}
+	e.live--
 	fn := ev.fn
-	ev.fn = nil
+	e.release(ev)
 	began := e.now
 	e.masked++
 	fn()
@@ -240,30 +360,25 @@ func (e *Engine) fire() {
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). A hand-rolled heap
-// (rather than container/heap) keeps Event pointers stable and avoids
-// interface boxing on the hot path.
-type eventHeap []*Event
+// (rather than container/heap) keeps event pointers stable and avoids
+// interface boxing on the hot path. It holds the events beyond the timer
+// wheel's horizon (and everything, in heap-only engines).
+type eventHeap []*event
 
-func (h *eventHeap) push(ev *Event) {
+func (h *eventHeap) push(ev *event) {
 	*h = append(*h, ev)
 	ev.idx = len(*h) - 1
 	h.up(ev.idx)
 }
 
-func (h *eventHeap) peek() *Event {
+func (h *eventHeap) peek() *event {
 	if len(*h) == 0 {
 		return nil
 	}
 	return (*h)[0]
 }
 
-func (h *eventHeap) pop() *Event {
-	ev := (*h)[0]
-	h.removeAt(0)
-	return ev
-}
-
-func (h *eventHeap) remove(ev *Event) {
+func (h *eventHeap) remove(ev *event) {
 	if ev.idx < 0 || ev.idx >= len(*h) || (*h)[ev.idx] != ev {
 		return
 	}

@@ -105,7 +105,7 @@ func TestCancel(t *testing.T) {
 func TestCancelOneOfMany(t *testing.T) {
 	e := New()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, e.After(Cycles(10+i), func() { got = append(got, i) }))

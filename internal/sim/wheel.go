@@ -1,0 +1,159 @@
+package sim
+
+import "math/bits"
+
+// The hierarchical timer wheel. Three levels of 256 one-cycle-granularity
+// buckets: level g's slot for an event due at cycle t is bits [8g, 8g+8)
+// of t, so level 0 resolves single cycles, level 1 256-cycle ranges and
+// level 2 65536-cycle ranges. An event is placed at the level of the most
+// significant bit in which its due time differs from the wheel position
+// `pos` (the time up to which the wheel is known drained); events more
+// than 2^24 cycles (≈56 ms simulated) past pos overflow into the engine's
+// binary heap. Schedule and cancel are O(1); finding the next event is a
+// three-bitmap scan plus a short list walk.
+//
+// Invariants (maintained by insert/remove/advance):
+//
+//   - pos never exceeds the due time of any wheel event: it only advances
+//     to the time of a just-fired event, which was the global minimum.
+//   - every event's due time lies in the same level-(g+1) aligned block
+//     as pos, where g is the event's level. This holds at insert by
+//     construction and is preserved as pos advances, because pos can only
+//     move up to the minimum due time, which is inside every such block.
+//   - within one level the slot ranges are therefore disjoint and
+//     time-ordered, so the level's minimum lives in its first non-empty
+//     slot; and a level-0 slot holds exactly one distinct due time, so
+//     schedule order within it is resolved by seq alone.
+//
+// One consequence of pos advancing after events were placed: an event
+// placed at level g when it was far from pos can end up with its due time
+// in the same level-g block as pos (it "would be" level g-1 now), still
+// sitting in the level-g slot that contains pos. Its slot is then the
+// first non-empty one of its level, but a lower level may hold a later
+// event in an earlier-scanned position — so peek must take the (at, seq)
+// minimum across the first non-empty slot of EVERY level, not trust the
+// level order. The equivalence test in wheel_test.go exercises exactly
+// this interleaving against the pure-heap engine.
+const (
+	wheelBits        = 8
+	wheelSlots       = 1 << wheelBits // 256 slots per level
+	wheelMask        = wheelSlots - 1
+	wheelLevels      = 3
+	wheelHorizonBits = wheelBits * wheelLevels // 2^24 cycles ≈ 56 ms simulated
+	wheelWords       = wheelSlots / 64
+)
+
+type wheel struct {
+	pos    Cycles // wheel time floor: every wheel event is due at or after pos
+	count  int
+	cached *event // memoized peek result; nil when it must be recomputed
+	slots  [wheelLevels][wheelSlots]*event
+	bitmap [wheelLevels][wheelWords]uint64
+}
+
+// insert places ev, due at ev.at >= now >= w.pos, into the wheel. It
+// reports false when ev is beyond the horizon and must go to the heap.
+func (w *wheel) insert(ev *event, now Cycles) bool {
+	if w.count == 0 {
+		// Empty wheel: re-anchor at the present so the horizon is
+		// measured from now, not from wherever the last event fired.
+		w.pos = now
+	}
+	diff := ev.at ^ w.pos
+	if diff>>wheelHorizonBits != 0 {
+		return false
+	}
+	level := 0
+	if diff != 0 {
+		level = (bits.Len64(uint64(diff)) - 1) / wheelBits
+	}
+	slot := int(ev.at>>(uint(level)*wheelBits)) & wheelMask
+	ev.where = evWheel
+	ev.level = uint16(level)
+	ev.slot = uint16(slot)
+	ev.prev = nil
+	ev.next = w.slots[level][slot]
+	if ev.next != nil {
+		ev.next.prev = ev
+	}
+	w.slots[level][slot] = ev
+	w.bitmap[level][slot>>6] |= 1 << uint(slot&63)
+	w.count++
+	if w.cached != nil && eventLess(ev, w.cached) {
+		w.cached = ev
+	}
+	return true
+}
+
+// remove unlinks ev from its slot. O(1).
+func (w *wheel) remove(ev *event) {
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		w.slots[ev.level][ev.slot] = ev.next
+		if ev.next == nil {
+			w.bitmap[ev.level][ev.slot>>6] &^= 1 << uint(ev.slot&63)
+		}
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	}
+	ev.prev, ev.next = nil, nil
+	w.count--
+	if w.cached == ev {
+		w.cached = nil
+	}
+}
+
+// advance moves the wheel floor up to at, the due time of the event the
+// engine just fired. Since that event was the global minimum, no wheel
+// event is earlier and the placement invariants above are preserved.
+func (w *wheel) advance(at Cycles) {
+	if at > w.pos {
+		w.pos = at
+	}
+}
+
+// peek returns the earliest (at, seq) wheel event, nil when empty.
+func (w *wheel) peek() *event {
+	if w.cached != nil {
+		return w.cached
+	}
+	if w.count == 0 {
+		return nil
+	}
+	var best *event
+	for level := 0; level < wheelLevels; level++ {
+		slot, ok := w.firstSlot(level)
+		if !ok {
+			continue
+		}
+		for ev := w.slots[level][slot]; ev != nil; ev = ev.next {
+			if best == nil || eventLess(ev, best) {
+				best = ev
+			}
+		}
+	}
+	if best == nil {
+		panic("sim: wheel count positive but no event found")
+	}
+	w.cached = best
+	return best
+}
+
+// firstSlot finds the lowest-index non-empty slot of a level.
+func (w *wheel) firstSlot(level int) (int, bool) {
+	for word := 0; word < wheelWords; word++ {
+		if b := w.bitmap[level][word]; b != 0 {
+			return word<<6 + bits.TrailingZeros64(b), true
+		}
+	}
+	return 0, false
+}
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

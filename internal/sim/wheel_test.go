@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"testing"
+)
+
+// twinEngines drives a wheel engine and a heap-only engine through the
+// same operation sequence and checks they stay in lockstep: same fire
+// order, same clock, same pending count.
+type twinEngines struct {
+	t     *testing.T
+	wheel *Engine
+	heap  *Engine
+
+	// Live handles, index-aligned across the two engines.
+	wheelEvs []Event
+	heapEvs  []Event
+
+	wheelFired []int
+	heapFired  []int
+	nextID     int
+}
+
+func newTwins(t *testing.T) *twinEngines {
+	return &twinEngines{t: t, wheel: New(), heap: NewHeapOnly()}
+}
+
+// schedule arms the same callback at the same delay on both engines. Some
+// events re-arm themselves once, so the masked (in-handler) insert path
+// is exercised too.
+func (tw *twinEngines) schedule(delay Cycles, rearm bool) {
+	id := tw.nextID
+	tw.nextID++
+	mk := func(e *Engine, fired *[]int) func() {
+		var fn func()
+		armed := false
+		fn = func() {
+			*fired = append(*fired, id)
+			if rearm && !armed {
+				armed = true
+				e.After(delay/2+1, fn)
+			}
+		}
+		return fn
+	}
+	tw.wheelEvs = append(tw.wheelEvs, tw.wheel.After(delay, mk(tw.wheel, &tw.wheelFired)))
+	tw.heapEvs = append(tw.heapEvs, tw.heap.After(delay, mk(tw.heap, &tw.heapFired)))
+}
+
+// cancel cancels handle i on both engines and checks the results agree.
+func (tw *twinEngines) cancel(i int) {
+	a := tw.wheel.Cancel(tw.wheelEvs[i])
+	b := tw.heap.Cancel(tw.heapEvs[i])
+	if a != b {
+		tw.t.Fatalf("Cancel(ev %d): wheel=%v heap=%v", i, a, b)
+	}
+}
+
+// check asserts the engines are still in lockstep.
+func (tw *twinEngines) check() {
+	tw.t.Helper()
+	if tw.wheel.Now() != tw.heap.Now() {
+		tw.t.Fatalf("clocks diverged: wheel=%d heap=%d", tw.wheel.Now(), tw.heap.Now())
+	}
+	if tw.wheel.Pending() != tw.heap.Pending() {
+		tw.t.Fatalf("pending diverged at t=%d: wheel=%d heap=%d",
+			tw.wheel.Now(), tw.wheel.Pending(), tw.heap.Pending())
+	}
+	if len(tw.wheelFired) != len(tw.heapFired) {
+		tw.t.Fatalf("fired-count diverged: wheel=%d heap=%d",
+			len(tw.wheelFired), len(tw.heapFired))
+	}
+	for i := range tw.wheelFired {
+		if tw.wheelFired[i] != tw.heapFired[i] {
+			tw.t.Fatalf("fire order diverged at index %d: wheel=%v... heap=%v...",
+				i, tw.wheelFired[i], tw.heapFired[i])
+		}
+	}
+}
+
+// TestWheelHeapEquivalence is the randomized equivalence test the timer
+// wheel's exact (at, seq) FIFO ordering claim rests on: ~1e5 random
+// schedule/cancel/ConsumeCPU/advance operations drive a wheel engine and
+// a heap-only engine side by side, asserting identical fire order and
+// final clock. Delay magnitudes are mixed so events land in every wheel
+// level and in the overflow heap, and the clock repeatedly crosses slot,
+// level and horizon boundaries while events are still queued.
+func TestWheelHeapEquivalence(t *testing.T) {
+	rng := NewRand(20260805)
+	tw := newTwins(t)
+	const ops = 100_000
+	for op := 0; op < ops; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // schedule, mixed magnitudes
+			var delay Cycles
+			switch rng.Intn(5) {
+			case 0:
+				delay = rng.Cycles(1 << 6) // level 0
+			case 1:
+				delay = rng.Cycles(1 << 14) // level 1
+			case 2:
+				delay = rng.Cycles(1 << 22) // level 2
+			case 3:
+				delay = rng.Cycles(1 << 26) // beyond the horizon: heap
+			case 4:
+				delay = Cycles(rng.Intn(3)) // due now / nearly now
+			}
+			tw.schedule(delay, rng.Intn(8) == 0)
+		case 4, 5, 6:
+			tw.wheel.ConsumeCPU(rng.Cycles(1 << 16))
+			tw.heap.ConsumeCPU(tw.wheel.Now() - tw.heap.Now())
+		case 7:
+			if n := len(tw.wheelEvs); n > 0 {
+				tw.cancel(rng.Intn(n))
+			}
+		case 8:
+			_, okW := tw.wheel.AdvanceToNextEvent()
+			_, okH := tw.heap.AdvanceToNextEvent()
+			if okW != okH {
+				t.Fatalf("AdvanceToNextEvent ok diverged: wheel=%v heap=%v", okW, okH)
+			}
+		case 9:
+			target := tw.wheel.Now() + rng.Cycles(1<<20)
+			tw.wheel.AdvanceTo(target)
+			tw.heap.AdvanceTo(target)
+		}
+		if op%1024 == 0 {
+			tw.check()
+		}
+	}
+	tw.wheel.Drain(1 << 62)
+	tw.heap.Drain(1 << 62)
+	tw.check()
+	if len(tw.wheelFired) == 0 {
+		t.Fatal("equivalence run fired no events")
+	}
+}
+
+// TestStaleHandleCannotCancelRecycledEvent is the generation-counter
+// regression test: once an event has fired, its record returns to the
+// pool and is reused by the next schedule; a handle kept from the fired
+// event must not be able to cancel the new one.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := New()
+	h1 := e.After(10, func() {})
+	e.Drain(100) // h1 fires; its record is recycled
+	fired := false
+	h2 := e.After(10, func() { fired = true })
+	if e.Cancel(h1) {
+		t.Fatal("stale handle canceled something")
+	}
+	e.Drain(200)
+	if !fired {
+		t.Fatal("stale Cancel killed the recycled event")
+	}
+	if e.Cancel(h2) {
+		t.Fatal("Cancel after fire reported true")
+	}
+}
+
+// TestStaleHandleAfterCancelIsInert is the same hazard via the cancel
+// path: a canceled event's record recycles, and the old handle must stay
+// dead even though the record is live again.
+func TestStaleHandleAfterCancelIsInert(t *testing.T) {
+	e := New()
+	h1 := e.After(10, func() { t.Fatal("canceled event fired") })
+	if !e.Cancel(h1) {
+		t.Fatal("first Cancel failed")
+	}
+	fired := false
+	h2 := e.After(10, func() { fired = true }) // reuses h1's record
+	if e.Cancel(h1) {
+		t.Fatal("double Cancel through a stale handle succeeded")
+	}
+	e.Drain(100)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	_ = h2
+}
+
+// TestZeroEventHandle checks the zero handle is inert.
+func TestZeroEventHandle(t *testing.T) {
+	e := New()
+	var h Event
+	if !h.IsZero() {
+		t.Fatal("zero handle not IsZero")
+	}
+	if e.Cancel(h) {
+		t.Fatal("Cancel of zero handle returned true")
+	}
+	if got := e.After(5, func() {}); got.IsZero() {
+		t.Fatal("issued handle reports IsZero")
+	}
+}
+
+// TestPendingCounter checks Pending is maintained by schedule, cancel and
+// fire rather than scanned.
+func TestPendingCounter(t *testing.T) {
+	e := New()
+	var hs []Event
+	for i := 0; i < 10; i++ {
+		hs = append(hs, e.After(Cycles(100+i), func() {}))
+	}
+	e.After(1<<30, func() {}) // overflow-heap resident
+	if got := e.Pending(); got != 11 {
+		t.Fatalf("Pending = %d, want 11", got)
+	}
+	e.Cancel(hs[3])
+	e.Cancel(hs[3]) // idempotent
+	if got := e.Pending(); got != 10 {
+		t.Fatalf("Pending after cancel = %d, want 10", got)
+	}
+	e.Drain(200)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after drain = %d, want 1", got)
+	}
+	e.Drain(1 << 31)
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after full drain = %d, want 0", got)
+	}
+}
+
+// TestScheduleFireDoesNotAllocate pins the freelist claim: in steady
+// state, schedule+fire cycles allocate nothing.
+func TestScheduleFireDoesNotAllocate(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the pool and the wheel.
+	for i := 0; i < 64; i++ {
+		e.After(Cycles(i%7), fn)
+	}
+	e.Drain(1 << 30)
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(13, fn)
+		e.Drain(e.Now() + 100)
+	})
+	if allocs > 0 {
+		t.Fatalf("schedule+fire allocates %.1f objects per op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		h := e.After(1000, fn)
+		e.Cancel(h)
+	})
+	if allocs > 0 {
+		t.Fatalf("schedule+cancel allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestWheelSameCycleMixedLevels pins the subtle case documented in
+// wheel.go: an event placed at a high level while far away stays in its
+// slot as the wheel floor advances into that slot's range; a same-cycle
+// event scheduled later from close range lands at level 0, and the two
+// must still fire in seq order.
+func TestWheelSameCycleMixedLevels(t *testing.T) {
+	e := New()
+	var got []int
+	const target = 5000 // level 1 relative to pos=0 (bit 12 set)
+	e.After(target, func() { got = append(got, 1) })
+	e.After(10, func() {
+		// Fires at t=10; pos has advanced to 10, same 256-block... the
+		// target is still ~5000 away, so schedule the same-cycle rival
+		// once the clock is inside the target's 256-block instead.
+	})
+	e.Drain(20)
+	e.After(target-e.Now()-100, func() {
+		// Now() is target-100 when this fires: same 256-block as target.
+		e.After(100, func() { got = append(got, 2) })
+	})
+	e.Drain(1 << 30)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("fire order %v, want [1 2] (seq order at equal cycle)", got)
+	}
+}
+
+// BenchmarkEngineScheduleFire measures the engine hot path: one
+// schedule+fire per op through the wheel, steady state (pooled records).
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(97, fn)
+		e.Drain(e.Now() + 1000)
+	}
+}
+
+// BenchmarkEngineScheduleFireHeapOnly is the same load on the heap-only
+// engine, isolating the wheel's contribution.
+func BenchmarkEngineScheduleFireHeapOnly(b *testing.B) {
+	e := NewHeapOnly()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(97, fn)
+		e.Drain(e.Now() + 1000)
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule+cancel pair with a
+// standing population of 256 timers, the TCP-timer-like pattern
+// (schedule a timeout, then cancel it when the ACK arrives).
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := New()
+	fn := func() {}
+	var standing [256]Event
+	for i := range standing {
+		standing[i] = e.After(Cycles(1000+i*31), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.After(Cycles(500+i%1024), fn)
+		e.Cancel(h)
+	}
+}
+
+// BenchmarkEngineScheduleCancelHeapOnly is the heap-only baseline.
+func BenchmarkEngineScheduleCancelHeapOnly(b *testing.B) {
+	e := NewHeapOnly()
+	fn := func() {}
+	var standing [256]Event
+	for i := range standing {
+		standing[i] = e.After(Cycles(1000+i*31), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.After(Cycles(500+i%1024), fn)
+		e.Cancel(h)
+	}
+}

@@ -232,8 +232,8 @@ type peerConn struct {
 
 	bytesIn    int
 	pendingAck int
-	delackEv   *sim.Event
-	retryEv    *sim.Event
+	delackEv   sim.Event
+	retryEv    sim.Event
 	sawFin     bool
 	finSent    bool
 
@@ -307,14 +307,10 @@ func (c *peerConn) abandon(success bool) {
 }
 
 func (c *peerConn) cancelTimers() {
-	if c.delackEv != nil {
-		c.st.Eng.Cancel(c.delackEv)
-		c.delackEv = nil
-	}
-	if c.retryEv != nil {
-		c.st.Eng.Cancel(c.retryEv)
-		c.retryEv = nil
-	}
+	c.st.Eng.Cancel(c.delackEv)
+	c.delackEv = sim.Event{}
+	c.st.Eng.Cancel(c.retryEv)
+	c.retryEv = sim.Event{}
 }
 
 // input runs the client state machine on one received segment.
@@ -324,10 +320,8 @@ func (c *peerConn) input(h wire.TCP, payload []byte) {
 		if h.Flags&wire.FlagSYN != 0 && h.Flags&wire.FlagACK != 0 && h.Ack == c.iss+1 {
 			c.rcvNxt = h.Seq + 1
 			c.state = pcEstablished
-			if c.retryEv != nil {
-				c.st.Eng.Cancel(c.retryEv)
-				c.retryEv = nil
-			}
+			c.st.Eng.Cancel(c.retryEv)
+			c.retryEv = sim.Event{}
 			c.sendRequest()
 			c.armReqRetry()
 		}
@@ -374,9 +368,9 @@ func (c *peerConn) deferAck() {
 		c.ackNow()
 		return
 	}
-	if c.delackEv == nil {
+	if c.delackEv.IsZero() {
 		c.delackEv = c.st.Eng.After(c.st.DelAckTimeout, func() {
-			c.delackEv = nil
+			c.delackEv = sim.Event{}
 			if c.pendingAck > 0 && c.state == pcEstablished {
 				c.ackNow()
 			}
@@ -385,10 +379,8 @@ func (c *peerConn) deferAck() {
 }
 
 func (c *peerConn) cancelDelack() {
-	if c.delackEv != nil {
-		c.st.Eng.Cancel(c.delackEv)
-		c.delackEv = nil
-	}
+	c.st.Eng.Cancel(c.delackEv)
+	c.delackEv = sim.Event{}
 	c.pendingAck = 0
 }
 
