@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check vet check bench bench-smoke
+.PHONY: all build test race lint fmt fmt-check vet check bench bench-smoke chaos-smoke
 
 all: check
 
@@ -32,17 +32,24 @@ vet:
 # check is what CI runs (minus the networked staticcheck/govulncheck job).
 check: fmt-check vet build lint test
 
-# bench regenerates BENCH_3.json: conn/s per Figure 8 point, the sweep
+# bench regenerates BENCH_4.json: conn/s per Figure 8 point, the sweep
 # runner's sims/sec (serial vs parallel), and the engine hot path's
-# ns/op + allocs/op. See DESIGN.md's Performance section.
+# ns/op + allocs/op. See DESIGN.md's Performance section; compare
+# against BENCH_3.json to confirm the no-fault fast path costs nothing.
 bench:
 	{ $(GO) test -run '^$$' -bench 'Fig8' -benchmem . && \
 	  $(GO) test -run '^$$' -bench 'Engine' -benchmem ./internal/sim; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_3.json
-	@cat BENCH_3.json
+	  | $(GO) run ./cmd/benchjson > BENCH_4.json
+	@cat BENCH_4.json
 
 # bench-smoke is the CI guard: one iteration of every Figure 8
 # benchmark under the race detector, so the parallel sweep path stays
 # race-clean without paying for a full benchmark run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Fig8' -benchtime 1x -race .
+
+# chaos-smoke is the CI soak: the kitchen-sink fault mix (network
+# faults + failpoints + watchdog + shedding) against the Figure 8
+# workload under the race detector. See ROBUSTNESS.md.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosSmoke' -v ./internal/fault/

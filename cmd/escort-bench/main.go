@@ -7,6 +7,12 @@
 //
 //	escort-bench -exp fig8|table1|table2|fig9|fig10|fig11|all [-scale quick|paper]
 //	             [-parallel=false] [-trace base.json] [-metrics base.csv]
+//	             [-faults spec]
+//
+// -faults applies a deterministic fault spec (see ROBUSTNESS.md for the
+// grammar) to every figure run: network faults on both segments, the
+// named failpoints in the kernel, and the degradation knobs (watchdog,
+// shedding) in the server. Table runs stay fault-free.
 //
 // Figure sweeps fan their points across one worker per CPU by default;
 // every point is an independent simulation, so -parallel=false produces
@@ -29,6 +35,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/experiment/runner"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -51,6 +58,7 @@ func main() {
 	parallel := flag.Bool("parallel", true, "fan sweep points across one worker per CPU (results are identical either way)")
 	traceBase := flag.String("trace", "", "write per-run Chrome trace JSON files derived from this base path")
 	metricsBase := flag.String("metrics", "", "write per-run metrics CSV files derived from this base path")
+	faultSpec := flag.String("faults", "", "fault spec applied to figure runs, e.g. 'seed=7,drop=0.01,fp:kmem.alloc=p0.001,watchdog' (see ROBUSTNESS.md)")
 	flag.Parse()
 
 	var sc experiment.Scale
@@ -65,6 +73,14 @@ func main() {
 	}
 	if *parallel {
 		sc.Workers = runner.DefaultWorkers()
+	}
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "escort-bench: %v\n", err)
+			os.Exit(2)
+		}
+		sc.Faults = spec
 	}
 
 	if *traceBase != "" || *metricsBase != "" {

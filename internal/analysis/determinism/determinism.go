@@ -47,6 +47,10 @@ var (
 // as simulator-downstream code.
 var AlwaysOn = map[string]bool{
 	"repro/internal/experiment/runner": true,
+	// Fault injection must be byte-reproducible by construction: a
+	// wall-clock read or global rand draw there would desynchronize
+	// every chaos run even when the spec seed is fixed.
+	"repro/internal/fault": true,
 }
 
 // Analyzer is the determinism analyzer.

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/lib"
@@ -131,6 +132,14 @@ type Options struct {
 	// console output now goes through Obs.Console. Nil (the zero
 	// value) disables everything at zero cost.
 	Obs *obs.Config
+
+	// Faults configures deterministic fault injection and graceful
+	// degradation: armed failpoints go into the kernel, the watchdog
+	// and overload shedding are enabled per the spec. Network faults
+	// are wired outside the server (the injector wraps the segment the
+	// NIC attaches to); see fault.Spec and ROBUSTNESS.md. Nil disables
+	// everything — the fast path pays one nil test per guarded site.
+	Faults *fault.Spec
 }
 
 // Server is an assembled Escort web server.
@@ -164,6 +173,9 @@ type Server struct {
 	PenaltyListener *tcpmod.Listener
 
 	Contain *policy.Containment
+
+	// Watchdog is the hung-path detector when Options.Faults enabled it.
+	Watchdog *policy.Watchdog
 
 	// Obs holds the live observability sinks built from Options.Obs.
 	// Call Obs.Close() after the run to flush the trace and metrics
@@ -202,12 +214,14 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 
 	o := obs.New(opt.Obs)
 	kcfg := kernel.Config{
-		Accounting: accounting,
-		Scheduler:  opt.Scheduler,
-		TotalPages: opt.TotalPages,
-		Console:    o.Console,
-		Tracer:     o.Tracer,
-		Metrics:    o.Metrics,
+		Accounting:    accounting,
+		Scheduler:     opt.Scheduler,
+		TotalPages:    opt.TotalPages,
+		Console:       o.Console,
+		Tracer:        o.Tracer,
+		Metrics:       o.Metrics,
+		Faults:        opt.Faults.NewSet(),
+		FaultCounters: o.Faults,
 	}
 	if accounting {
 		// Detection requires accounting: base Scout cannot enforce the
@@ -307,6 +321,19 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 	}
 	if accounting {
 		s.Contain = policy.EnableContainment(k, mgr)
+	}
+	if opt.Faults != nil && opt.Faults.Watchdog && accounting {
+		s.Watchdog = policy.EnableWatchdog(k, mgr,
+			policy.WatchdogConfig{Stall: opt.Faults.WatchdogStall})
+	}
+	if opt.Faults != nil && opt.Faults.Shed > 0 {
+		// Overload shedding: refuse new connections while page-pool
+		// pressure sits above the high-water mark, so established paths
+		// keep their memory during a fault storm.
+		pages, mark := k.Pages(), opt.Faults.Shed
+		s.TCP.Shed = func() bool {
+			return float64(pages.InUse()) >= mark*float64(pages.TotalPages())
+		}
 	}
 
 	if err := g.Init(mgr, mgr.DeliverInbound); err != nil {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/experiment/runner"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -35,6 +36,12 @@ type Scale struct {
 	// Workers > 1 the factory is called from multiple goroutines and
 	// must be safe for concurrent use.
 	Obs ObsFactory
+
+	// Faults, when non-nil, applies the same fault spec to every figure
+	// run (each testbed derives its own injector from the spec's seed,
+	// so points stay independent and deterministic under Workers > 1).
+	// Table runs stay fault-free: they measure the intrinsic costs.
+	Faults *fault.Spec
 }
 
 // obsFor resolves the per-run observability config, nil when no
@@ -96,7 +103,7 @@ func Fig8(sc Scale, docs []DocSpec, configs []Config) ([]Fig8Row, error) {
 	return runner.MapErr(len(pts), sc.Workers, func(i int) (Fig8Row, error) {
 		p := pts[i]
 		label := fmt.Sprintf("fig8-%s-%s-c%d", strings.TrimPrefix(p.doc.Name, "/"), p.cfg, p.n)
-		tb, err := NewTestbed(p.cfg, Options{Obs: sc.obsFor(label)})
+		tb, err := NewTestbed(p.cfg, Options{Obs: sc.obsFor(label), Faults: sc.Faults})
 		if err != nil {
 			return Fig8Row{}, err
 		}
@@ -355,7 +362,7 @@ func Fig9(sc Scale, docs []DocSpec) ([]Fig9Row, error) {
 	return runner.MapErr(len(pts), sc.Workers, func(i int) (Fig9Row, error) {
 		p := pts[i]
 		label := fmt.Sprintf("fig9-%s-%s-c%d-attack%v", strings.TrimPrefix(p.doc.Name, "/"), p.cfg, p.n, p.attack)
-		tb, err := NewTestbed(p.cfg, Options{SynCapUntrusted: 64, Obs: sc.obsFor(label)})
+		tb, err := NewTestbed(p.cfg, Options{SynCapUntrusted: 64, Obs: sc.obsFor(label), Faults: sc.Faults})
 		if err != nil {
 			return Fig9Row{}, err
 		}

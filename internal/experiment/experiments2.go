@@ -46,7 +46,7 @@ func Fig10(sc Scale, docs []DocSpec) ([]Fig10Row, error) {
 	return runner.MapErr(len(pts), sc.Workers, func(i int) (Fig10Row, error) {
 		p := pts[i]
 		label := fmt.Sprintf("fig10-%s-%s-c%d-stream%v", strings.TrimPrefix(p.doc.Name, "/"), p.cfg, p.n, p.stream)
-		tb, err := NewTestbed(p.cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label)})
+		tb, err := NewTestbed(p.cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label), Faults: sc.Faults})
 		if err != nil {
 			return Fig10Row{}, err
 		}
@@ -161,7 +161,7 @@ func Fig11(sc Scale, docs []DocSpec, clients int) ([]Fig11Row, error) {
 	return runner.MapErr(len(pts), sc.Workers, func(i int) (Fig11Row, error) {
 		p := pts[i]
 		label := fmt.Sprintf("fig11-%s-%s-cgi%d", strings.TrimPrefix(p.doc.Name, "/"), p.cfg, p.atk)
-		tb, err := NewTestbed(p.cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label)})
+		tb, err := NewTestbed(p.cfg, Options{QoSRateBps: QoSTarget, Obs: sc.obsFor(label), Faults: sc.Faults})
 		if err != nil {
 			return Fig11Row{}, err
 		}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/escort"
+	"repro/internal/fault"
 	"repro/internal/lib"
 	"repro/internal/linuxsim"
 	"repro/internal/netsim"
@@ -76,6 +77,13 @@ type Testbed struct {
 	Hub    *netsim.Hub
 	Switch *netsim.Switch
 
+	// Inj is the network fault injector when Options.Faults configured
+	// one; hubAt/swAt are the attach points workloads and servers use
+	// (the injector-wrapped segments, or the raw ones when fault-free).
+	Inj   *fault.NetInjector
+	hubAt netsim.Attacher
+	swAt  netsim.Attacher
+
 	Config Config
 	Escort *escort.Server
 	Linux  *linuxsim.Server
@@ -102,6 +110,10 @@ type Options struct {
 	// Obs selects observability sinks for the Escort server (ignored
 	// for the Linux baseline, which has no Escort kernel to observe).
 	Obs *obs.Config
+	// Faults configures deterministic fault injection: the network
+	// climate wraps both segments' attach points, and the failpoint /
+	// degradation parts are passed through to the server.
+	Faults *fault.Spec
 }
 
 // NewTestbed builds the topology and the server of the given config.
@@ -116,8 +128,16 @@ func NewTestbed(cfg Config, opt Options) (*Testbed, error) {
 		model = cost.Default()
 	}
 	tb := &Testbed{Eng: eng, Model: model, Hub: hub, Switch: sw, Config: cfg}
+	tb.Inj = opt.Faults.NewNetInjector(eng)
+	tb.hubAt, tb.swAt = netsim.Attacher(hub), netsim.Attacher(sw)
+	if tb.Inj != nil {
+		// The bridge stays on the raw segments: faults strike at edge
+		// NICs (stations and server), not inside the infrastructure.
+		tb.hubAt = tb.Inj.WrapAttacher(hub)
+		tb.swAt = tb.Inj.WrapAttacher(sw)
+	}
 	if cfg == ConfigLinux {
-		tb.Linux = linuxsim.New(eng, tb.Model, hub, escort.ServerIP, escort.ServerMAC, Docs())
+		tb.Linux = linuxsim.New(eng, tb.Model, tb.hubAt, escort.ServerIP, escort.ServerMAC, Docs())
 		return tb, nil
 	}
 	var kind escort.Kind
@@ -131,7 +151,7 @@ func NewTestbed(cfg Config, opt Options) (*Testbed, error) {
 	default:
 		return nil, fmt.Errorf("experiment: unknown config %q", cfg)
 	}
-	srv, err := escort.NewServer(eng, tb.Model, hub, escort.Options{
+	srv, err := escort.NewServer(eng, tb.Model, tb.hubAt, escort.Options{
 		Kind:            kind,
 		Docs:            Docs(),
 		SynCapUntrusted: opt.SynCapUntrusted,
@@ -139,11 +159,15 @@ func NewTestbed(cfg Config, opt Options) (*Testbed, error) {
 		Scheduler:       opt.Scheduler,
 		PathFinder:      opt.PathFinder,
 		Obs:             opt.Obs,
+		Faults:          opt.Faults,
 	})
 	if err != nil {
 		return nil, err
 	}
 	tb.Escort = srv
+	if tb.Inj != nil {
+		tb.Inj.BindObs(srv.K.Tracer(), srv.Obs.Faults)
+	}
 	return tb, nil
 }
 
@@ -177,7 +201,7 @@ func (tb *Testbed) AddClients(n int, doc string) {
 		idx := len(tb.Clients)
 		ip := lib.IPv4(10, 0, 1+byte(idx/250), byte(idx%250)+1)
 		mac := netsim.MAC(0x0200_0000_1000 + uint64(idx))
-		c := workload.NewClient(tb.Eng, tb.Switch, fmt.Sprintf("client%d", idx),
+		c := workload.NewClient(tb.Eng, tb.swAt, fmt.Sprintf("client%d", idx),
 			ip, mac, escort.ServerIP, doc, uint64(idx)+1)
 		c.Think = ClientThink
 		tb.Clients = append(tb.Clients, c)
@@ -188,7 +212,7 @@ func (tb *Testbed) AddClients(n int, doc string) {
 // AddSynAttacker attaches the SYN flood source (untrusted subnet, on
 // the hub) at the given rate.
 func (tb *Testbed) AddSynAttacker(rate uint64) {
-	tb.Syn = workload.NewSynAttacker(tb.Eng, tb.Hub, "syn-attacker",
+	tb.Syn = workload.NewSynAttacker(tb.Eng, tb.hubAt, "syn-attacker",
 		lib.IPv4(192, 168, 9, 9), netsim.MAC(0x0200_0000_9999),
 		escort.ServerIP, rate, 4242)
 	tb.Syn.Start()
@@ -201,7 +225,7 @@ func (tb *Testbed) AddCGIAttackers(n int) {
 		idx := len(tb.CGI)
 		ip := lib.IPv4(10, 0, 200+byte(idx/250), byte(idx%250)+1)
 		mac := netsim.MAC(0x0200_0000_8000 + uint64(idx))
-		a := workload.NewCGIAttacker(tb.Eng, tb.Switch, fmt.Sprintf("cgi%d", idx),
+		a := workload.NewCGIAttacker(tb.Eng, tb.swAt, fmt.Sprintf("cgi%d", idx),
 			ip, mac, escort.ServerIP, 7000+uint64(idx))
 		tb.CGI = append(tb.CGI, a)
 		a.Start()
@@ -210,7 +234,7 @@ func (tb *Testbed) AddCGIAttackers(n int) {
 
 // AddQoSReceiver attaches the stream receiver (on the hub).
 func (tb *Testbed) AddQoSReceiver() {
-	tb.QoS = workload.NewQoSReceiver(tb.Eng, tb.Hub, "qos-receiver",
+	tb.QoS = workload.NewQoSReceiver(tb.Eng, tb.hubAt, "qos-receiver",
 		lib.IPv4(10, 0, 0, 2), netsim.MAC(0x0200_0000_0002), escort.ServerIP, 5)
 	tb.QoS.Start()
 }

@@ -1,0 +1,197 @@
+// Chaos harness: every fault mix the spec grammar can express, thrown
+// at the Figure 8 workload (best-effort clients plus CGI attackers on
+// the Accounting configuration), with the paper's invariants asserted
+// after the storm:
+//
+//   - the cycle ledger stays balanced (Unaccounted == 0) — faults and
+//     the recovery they trigger are charged like any other work;
+//   - dead owners hold nothing: pathKill under fire still reclaims
+//     every page, stack, lock, event and semaphore;
+//   - the engine quiesces — no leaked timers or orphaned events keep
+//     the simulation alive;
+//   - the same seed reproduces the same run, byte for byte.
+//
+// The file lives in package fault_test because the testbed (package
+// experiment) imports package fault.
+package fault_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// chaosResult is the comparable summary of one run; two runs of the
+// same spec must produce equal values (and equal CSV bytes).
+type chaosResult struct {
+	completed uint64
+	failed    uint64
+	kills     uint64
+	reaped    uint64
+	shed      uint64
+	net       fault.NetStats
+	csv       string
+}
+
+const chaosRun = 2 * sim.CyclesPerSecond
+
+// runChaos builds the Fig8-style testbed under the given spec, runs it,
+// and checks the survival invariants.
+func runChaos(t *testing.T, spec string) chaosResult {
+	t.Helper()
+	sp, err := fault.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	var csv bytes.Buffer
+	tb, err := experiment.NewTestbed(experiment.ConfigAccounting, experiment.Options{
+		Faults: sp,
+		Obs:    &obs.Config{MetricsCSV: &csv},
+	})
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	tb.AddClients(6, "/doc1k")
+	tb.AddCGIAttackers(2)
+
+	before := tb.Escort.K.Ledger().Snapshot(tb.Eng.Now())
+	tb.RunFor(chaosRun)
+	after := tb.Escort.K.Ledger().Snapshot(tb.Eng.Now())
+
+	// Invariant 1: the ledger balanced through the chaos.
+	if d := after.Diff(before); d.Unaccounted() != 0 {
+		t.Errorf("unaccounted = %d of %d measured cycles", d.Unaccounted(), d.Measured)
+	}
+
+	// Invariant 2: no dead owner retains resources. Killed paths are the
+	// interesting case — their owners died mid-flight.
+	classes := []core.TrackClass{core.TrackPages, core.TrackThreads,
+		core.TrackIOBufferLocks, core.TrackEvents, core.TrackSemaphores}
+	for _, o := range tb.Escort.K.Ledger().Owners() {
+		if !o.Dead() {
+			continue
+		}
+		c := o.Counters
+		if c.Kmem != 0 || c.Pages != 0 || c.Stacks != 0 || c.Events != 0 || c.Semaphores != 0 {
+			t.Errorf("dead owner %q leaks: kmem=%d pages=%d stacks=%d events=%d sems=%d",
+				o.Name, c.Kmem, c.Pages, c.Stacks, c.Events, c.Semaphores)
+		}
+		for _, cl := range classes {
+			if n := o.TrackedCount(cl); n != 0 {
+				t.Errorf("dead owner %q still tracks %d %v", o.Name, n, cl)
+			}
+		}
+	}
+
+	res := chaosResult{
+		completed: tb.TotalCompleted(),
+		kills:     tb.Escort.Paths.Kills,
+		reaped:    tb.Escort.TCP.Reaped,
+		shed:      tb.Escort.TCP.ShedCount,
+	}
+	for _, c := range tb.Clients {
+		res.failed += c.Failed
+	}
+	if tb.Inj != nil {
+		res.net = tb.Inj.Stats
+	}
+
+	// Invariant 3: quiescence. Close unwinds the kernel threads; what
+	// remains is the stations' own timers (think/retransmit/attack
+	// schedules) plus in-flight and delayed frames — a few per actor. A
+	// leak (periodic events surviving their owner, re-armed timers on
+	// dead paths) accumulates over the run and blows far past this.
+	tb.Close()
+	if p := tb.Eng.Pending(); p > 1000 {
+		t.Errorf("engine not quiescent after Close: %d pending events", p)
+	}
+	res.csv = csv.String()
+
+	// Invariant 4: the service survived — chaos degrades, it must not
+	// kill. Every mix leaves the server able to finish real requests.
+	if res.completed == 0 {
+		t.Error("no client request completed under fault load")
+	}
+	return res
+}
+
+// chaosScenarios is the seeded matrix: one entry per fault family plus
+// a kitchen-sink mix layering network faults, failpoints and the
+// degradation knobs.
+var chaosScenarios = []struct {
+	name string
+	spec string
+}{
+	{"drop", "seed=11,drop=0.02"},
+	{"corrupt-dup", "seed=12,corrupt=0.02,dup=0.05"},
+	{"reorder-jitter", "seed=13,reorder=0.2:2ms,jitter=0.3:1ms"},
+	{"flap", "seed=14,flap=300ms:20ms"},
+	{"partition", "seed=15,partition=500ms:150ms"},
+	// thread.spawn uses Nth=25 so the failure lands on a runtime path
+	// create, past the handful of boot-time spawns (a boot-time hit is
+	// its own test below: the server must refuse to start, not panic).
+	{"failpoints", "seed=16,fp:kmem.alloc=p0.02,fp:thread.spawn=n25,fp:iobuf.grant=p0.01"},
+	{"kitchen-sink", "seed=17,drop=0.01,corrupt=0.01,dup=0.02,jitter=0.2:1ms,fp:kmem.alloc=p0.01,watchdog,shed=0.95"},
+}
+
+func TestChaosMatrix(t *testing.T) {
+	for _, sc := range chaosScenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			res := runChaos(t, sc.spec)
+			// The CGI attackers guarantee pathKills, which is what makes
+			// the dead-owner sweep above meaningful.
+			if res.kills == 0 {
+				t.Error("no path was killed; the leak check did not exercise pathKill")
+			}
+			t.Logf("%s: completed=%d failed=%d kills=%d reaped=%d shed=%d net=%+v",
+				sc.name, res.completed, res.failed, res.kills, res.reaped, res.shed, res.net)
+		})
+	}
+}
+
+// TestBootFailpointFailsGracefully hits a failpoint during server
+// construction: the testbed must come back with a typed error chain
+// ending in fault.ErrInjected — no panic, no half-built server.
+func TestBootFailpointFailsGracefully(t *testing.T) {
+	sp, err := fault.ParseSpec("seed=16,fp:thread.spawn=n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = experiment.NewTestbed(experiment.ConfigAccounting, experiment.Options{Faults: sp})
+	if err == nil {
+		t.Fatal("boot survived a spawn failpoint on a boot-time thread")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("boot failure does not wrap fault.ErrInjected: %v", err)
+	}
+}
+
+// TestChaosDeterminism reruns the heaviest mix and requires byte-equal
+// results: same counters, same injected-fault counts, same metrics CSV.
+func TestChaosDeterminism(t *testing.T) {
+	spec := chaosScenarios[len(chaosScenarios)-1].spec
+	a := runChaos(t, spec)
+	b := runChaos(t, spec)
+	if a != b {
+		t.Fatalf("identical seeds diverged:\n a=%+v\n b=%+v",
+			summary(a), summary(b))
+	}
+}
+
+// summary strips the CSV body for readable failure output.
+func summary(r chaosResult) chaosResult {
+	r.csv = ""
+	return r
+}
+
+// TestChaosSmoke is the CI soak target (make chaos-smoke): one
+// kitchen-sink run under -race.
+func TestChaosSmoke(t *testing.T) {
+	runChaos(t, chaosScenarios[len(chaosScenarios)-1].spec)
+}

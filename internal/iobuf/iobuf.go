@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/lib"
 	"repro/internal/mem"
@@ -121,12 +122,14 @@ type Manager struct {
 	cache  []*Buffer
 	tracer *obs.Tracer // resolved once from the kernel; nil when disabled
 
+	failGrant *fault.Point // "iobuf.grant" failpoint, resolved once
+
 	hits, misses uint64
 }
 
 // NewManager returns an IOBuffer manager bound to the kernel.
 func NewManager(k *kernel.Kernel) *Manager {
-	return &Manager{k: k, tracer: k.Tracer()}
+	return &Manager{k: k, tracer: k.Tracer(), failGrant: k.FaultSet().Point("iobuf.grant")}
 }
 
 // CacheStats reports buffer-cache hits and misses.
@@ -152,6 +155,17 @@ func (m *Manager) Alloc(ctx *kernel.Ctx, owner *core.Owner, npages int, spec Map
 	}
 	model := m.k.Model()
 	m.charge(ctx, owner, model.IOBufAlloc+m.k.AccountingTax())
+
+	// The grant failpoint fires before any kmem/page charge lands, so
+	// a failed grant needs no refunds; it wraps ErrExhausted so callers
+	// take their existing out-of-memory path.
+	if m.failGrant.Fire() {
+		if tr := m.tracer; tr != nil {
+			tr.Fault("failpoint", owner.Name, "iobuf.grant", m.k.Engine().Now())
+		}
+		m.k.FaultCounters().Inc(owner.Name)
+		return nil, fmt.Errorf("%w: %w", ErrExhausted, fault.ErrInjected)
+	}
 
 	b := m.fromCache(npages, spec)
 	hit := b != nil

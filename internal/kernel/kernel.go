@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/domain"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -53,6 +54,14 @@ type Config struct {
 	// scheduler-loop boundaries so per-owner time series get sampled
 	// on its virtual-time tick.
 	Metrics *obs.Metrics
+	// Faults, when non-nil, arms the kernel's failpoints (thread
+	// spawns, path/kernel allocations, IOBuffer grants) for
+	// deterministic fault injection. Nil costs one pointer test per
+	// guarded site.
+	Faults *fault.Set
+	// FaultCounters, when non-nil, receives per-owner fault counts
+	// (failpoint hits, TX drops) for the metrics export.
+	FaultCounters *obs.FaultRegistry
 }
 
 // Kernel is a running Escort kernel instance.
@@ -70,6 +79,10 @@ type Kernel struct {
 
 	tracer  *obs.Tracer  // nil when tracing is disabled
 	metrics *obs.Metrics // nil when metrics are disabled
+
+	faults        *fault.Set         // nil when fault injection is disabled
+	faultCounters *obs.FaultRegistry // nil when fault counting is disabled
+	failSpawn     *fault.Point       // "thread.spawn" failpoint, resolved once
 
 	idleOwner      *core.Owner
 	softclockOwner *core.Owner
@@ -121,6 +134,10 @@ func New(eng *sim.Engine, model *cost.Model, cfg Config) *Kernel {
 		acl:     NewACL(),
 		tracer:  cfg.Tracer,
 		metrics: cfg.Metrics,
+
+		faults:        cfg.Faults,
+		faultCounters: cfg.FaultCounters,
+		failSpawn:     cfg.Faults.Point("thread.spawn"),
 	}
 	k.pages = mem.NewAllocator(cfg.TotalPages)
 	k.domains = domain.NewRegistry(k.pages, k.ledger)
@@ -190,6 +207,15 @@ func (k *Kernel) Tracer() *obs.Tracer { return k.tracer }
 
 // Metrics returns the configured metrics sampler, nil when disabled.
 func (k *Kernel) Metrics() *obs.Metrics { return k.metrics }
+
+// FaultSet returns the kernel's failpoint set (nil when fault
+// injection is disabled). Subsystems resolve their failpoints through
+// it once at init: k.FaultSet().Point("iobuf.grant") is nil-safe.
+func (k *Kernel) FaultSet() *fault.Set { return k.faults }
+
+// FaultCounters returns the per-owner fault-count registry (nil when
+// disabled).
+func (k *Kernel) FaultCounters() *obs.FaultRegistry { return k.faultCounters }
 
 // KernelOwner returns the privileged domain's owner.
 func (k *Kernel) KernelOwner() *core.Owner { return k.kernelOwner }

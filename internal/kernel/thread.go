@@ -1,10 +1,12 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/internal/fault"
 	"repro/internal/lib"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -141,11 +143,42 @@ type SpawnOpts struct {
 	NoCharge bool
 }
 
-// Spawn creates a thread owned by owner and makes it runnable. The
-// thread's first dispatch happens from the kernel run loop.
+// ErrDeadOwner is returned by SpawnChecked for a dead owner (the
+// unchecked Spawn keeps the historical panic).
+var ErrDeadOwner = errors.New("kernel: operation on dead owner")
+
+// Spawn creates a thread owned by owner and makes it runnable,
+// panicking on a dead owner. Under an armed "thread.spawn" failpoint
+// the spawn can fail, in which case Spawn returns nil: a path losing a
+// worker this way simply makes no progress until the watchdog reaps
+// it, which is exactly the degradation chaos runs exercise. Callers
+// that need the failure surfaced use SpawnChecked.
 func (k *Kernel) Spawn(owner *core.Owner, name string, fn Fn, opts SpawnOpts) *Thread {
+	t, err := k.SpawnChecked(owner, name, fn, opts)
+	if err != nil {
+		if errors.Is(err, ErrDeadOwner) {
+			panic(fmt.Sprintf("kernel: spawn on dead owner %q", owner.Name))
+		}
+		return nil
+	}
+	return t
+}
+
+// SpawnChecked is Spawn with failures surfaced as typed errors:
+// ErrDeadOwner for a dead owner, fault.ErrInjected (wrapped) when the
+// "thread.spawn" failpoint fires. The failpoint is consulted before
+// any charge lands, so a failed spawn leaves the owner's balances
+// untouched.
+func (k *Kernel) SpawnChecked(owner *core.Owner, name string, fn Fn, opts SpawnOpts) (*Thread, error) {
 	if owner.Dead() {
-		panic(fmt.Sprintf("kernel: spawn on dead owner %q", owner.Name))
+		return nil, fmt.Errorf("%w: spawn %q on %q", ErrDeadOwner, name, owner.Name)
+	}
+	if k.failSpawn.Fire() {
+		if tr := k.tracer; tr != nil {
+			tr.Fault("failpoint", owner.Name, "thread.spawn", k.eng.Now())
+		}
+		k.faultCounters.Inc(owner.Name)
+		return nil, fmt.Errorf("kernel: spawn %q: %w", name, fault.ErrInjected)
 	}
 	t := &Thread{
 		k:          k,
@@ -197,7 +230,7 @@ func (k *Kernel) Spawn(owner *core.Owner, name string, fn Fn, opts SpawnOpts) *T
 	}()
 
 	k.makeRunnable(t)
-	return t
+	return t, nil
 }
 
 // OwnerShare returns the owner's scheduling allocation, materializing it

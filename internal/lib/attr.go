@@ -92,8 +92,14 @@ func (p Participant) Key() uint64 {
 
 // String renders dotted-quad:port.
 func (p Participant) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d:%d",
-		byte(p.Host>>24), byte(p.Host>>16), byte(p.Host>>8), byte(p.Host), p.Port)
+	return fmt.Sprintf("%s:%d", FormatIPv4(p.Host), p.Port)
+}
+
+// FormatIPv4 renders a host-order IPv4 address in dotted-quad form.
+// It is the one IP formatter in the tree; trace events, penalty-box
+// records, and endpoint names all route through it.
+func FormatIPv4(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
 }
 
 // IPv4 assembles a host-order IPv4 address from octets.

@@ -71,19 +71,30 @@ func NewNIC(name string, mac MAC) *NIC {
 }
 
 // Send transmits a frame onto the attached segment. Oversized frames are
-// dropped (and counted), as the hardware would.
-func (n *NIC) Send(f Frame) {
+// dropped (and counted), as the hardware would; it reports whether the
+// frame made it onto the wire so the driver layer can attribute the
+// drop to the owner that produced the frame.
+func (n *NIC) Send(f Frame) bool {
 	if n.seg == nil {
 		panic("netsim: send on detached NIC " + n.Name)
 	}
 	if len(f.Data) > MaxFrame {
 		n.TxDropped++
-		return
+		return false
 	}
 	n.TxFrames++
 	n.TxBytes += uint64(len(f.Data))
 	n.seg.Send(n, f)
+	return true
 }
+
+// Segment returns the segment the NIC is attached to (nil if detached).
+func (n *NIC) Segment() Segment { return n.seg }
+
+// SetSegment rebinds the NIC's transmission segment. Fault injectors use
+// it to interpose on delivery: attach normally, then wrap the segment
+// the attacher installed.
+func (n *NIC) SetSegment(s Segment) { n.seg = s }
 
 func (n *NIC) deliver(f Frame) {
 	if f.Dst != n.Mac && f.Dst != Broadcast && !n.promisc {

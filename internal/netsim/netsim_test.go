@@ -94,10 +94,19 @@ func TestOversizedFrameDropped(t *testing.T) {
 	b.Rx = func(Frame) { got++ }
 	hub.Attach(a)
 	hub.Attach(b)
-	a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, MaxFrame+1)})
+	if a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, MaxFrame+1)}) {
+		t.Fatal("oversized Send reported success; the driver cannot attribute the drop")
+	}
 	eng.Drain(1 << 40)
 	if got != 0 || a.TxDropped != 1 {
 		t.Fatalf("got=%d dropped=%d", got, a.TxDropped)
+	}
+	if !a.Send(Frame{Dst: 2, Src: 1, Data: make([]byte, MaxFrame)}) {
+		t.Fatal("max-size Send reported a drop")
+	}
+	eng.Drain(1 << 40)
+	if got != 1 {
+		t.Fatalf("max-size frame not delivered: got=%d", got)
 	}
 }
 

@@ -19,6 +19,9 @@ type Sample struct {
 	Cycles map[string]sim.Cycles
 	Kmem   map[string]uint64
 	Pages  map[string]uint64
+	// Faults carries cumulative per-group fault counts; nil unless a
+	// FaultRegistry is bound.
+	Faults map[string]uint64
 }
 
 // Metrics samples the accounting Ledger on a virtual-time tick and
@@ -31,6 +34,7 @@ type Metrics struct {
 	group    func(owner string) string
 
 	ledger  ledgerSource
+	faults  *FaultRegistry
 	next    sim.Cycles
 	samples []Sample
 }
@@ -59,6 +63,16 @@ func (m *Metrics) Bind(l ledgerSource) {
 		return
 	}
 	m.ledger = l
+}
+
+// BindFaults attaches a fault-count registry; each sample then carries
+// cumulative per-group fault counts and the exports gain faults:<group>
+// columns. Nil-safe on both sides.
+func (m *Metrics) BindFaults(r *FaultRegistry) {
+	if m == nil {
+		return
+	}
+	m.faults = r
 }
 
 // Poll takes a sample if virtual time has reached the next tick. The
@@ -101,6 +115,12 @@ func (m *Metrics) sample(now sim.Cycles) {
 		s.Kmem[g] += c.Kmem
 		s.Pages[g] += c.Pages
 	}
+	if m.faults != nil {
+		s.Faults = map[string]uint64{}
+		for _, name := range m.faults.Names() {
+			s.Faults[m.group(name)] += m.faults.Count(name)
+		}
+	}
 	m.samples = append(m.samples, s)
 }
 
@@ -140,6 +160,24 @@ func (m *Metrics) groups() []string {
 	return gs
 }
 
+// faultGroups returns the sorted union of fault-count group names.
+// Empty unless a FaultRegistry is bound and recorded something, so
+// fault-free runs keep the pre-existing column set.
+func (m *Metrics) faultGroups() []string {
+	set := map[string]bool{}
+	for i := range m.samples {
+		for g := range m.samples[i].Faults {
+			set[g] = true
+		}
+	}
+	fgs := make([]string, 0, len(set))
+	for g := range set {
+		fgs = append(fgs, g)
+	}
+	sort.Strings(fgs)
+	return fgs
+}
+
 // flush writes the CSV and/or JSON exports.
 func (m *Metrics) flush() error {
 	if err := m.writeCSV(); err != nil {
@@ -158,6 +196,7 @@ func (m *Metrics) writeCSV() error {
 	}
 	w := bufio.NewWriterSize(m.csv, 1<<15)
 	gs := m.groups()
+	fgs := m.faultGroups()
 	w.WriteString("at_cycles,total_cycles")
 	for _, g := range gs {
 		w.WriteString(",cycles:" + csvField(g))
@@ -167,6 +206,9 @@ func (m *Metrics) writeCSV() error {
 	}
 	for _, g := range gs {
 		w.WriteString(",pages:" + csvField(g))
+	}
+	for _, g := range fgs {
+		w.WriteString(",faults:" + csvField(g))
 	}
 	w.WriteByte('\n')
 	var buf []byte
@@ -191,6 +233,10 @@ func (m *Metrics) writeCSV() error {
 		for _, g := range gs {
 			buf = append(buf, ',')
 			buf = strconv.AppendUint(buf, s.Pages[g], 10)
+		}
+		for _, g := range fgs {
+			buf = append(buf, ',')
+			buf = strconv.AppendUint(buf, s.Faults[g], 10)
 		}
 		buf = append(buf, '\n')
 		if _, err := w.Write(buf); err != nil {
@@ -223,6 +269,7 @@ func (m *Metrics) writeJSON() error {
 	buf = append(buf, `,"samples":[`...)
 	w.Write(buf)
 	gs := m.groups()
+	fgs := m.faultGroups()
 	for i := range m.samples {
 		s := &m.samples[i]
 		buf = buf[:0]
@@ -238,7 +285,13 @@ func (m *Metrics) writeJSON() error {
 		buf = appendGroupSeries(buf, gs, func(g string) uint64 { return s.Kmem[g] })
 		buf = append(buf, `},"pages":{`...)
 		buf = appendGroupSeries(buf, gs, func(g string) uint64 { return s.Pages[g] })
-		buf = append(buf, "}}"...)
+		buf = append(buf, '}')
+		if len(fgs) > 0 {
+			buf = append(buf, `,"faults":{`...)
+			buf = appendGroupSeries(buf, fgs, func(g string) uint64 { return s.Faults[g] })
+			buf = append(buf, '}')
+		}
+		buf = append(buf, '}')
 		if _, err := w.Write(buf); err != nil {
 			return err
 		}

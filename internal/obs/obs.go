@@ -66,6 +66,11 @@ type Config struct {
 
 	// Console receives kernel console (Logf) output.
 	Console io.Writer
+
+	// FaultCounters forces a FaultRegistry even when no sink is
+	// configured (chaos tests read the counts directly). A registry is
+	// created automatically whenever any sink above is active.
+	FaultCounters bool
 }
 
 // Observer bundles the live sinks built from a Config. Fields are nil
@@ -74,6 +79,7 @@ type Config struct {
 type Observer struct {
 	Tracer  *Tracer
 	Metrics *Metrics
+	Faults  *FaultRegistry
 	Console io.Writer
 
 	closed bool
@@ -100,6 +106,10 @@ func New(cfg *Config) *Observer {
 			group = DefaultOwnerGroup
 		}
 		o.Metrics = newMetrics(cfg.MetricsCSV, cfg.MetricsJSON, interval, group)
+	}
+	if o.Tracer != nil || o.Metrics != nil || cfg.FaultCounters {
+		o.Faults = NewFaultRegistry()
+		o.Metrics.BindFaults(o.Faults)
 	}
 	return o
 }

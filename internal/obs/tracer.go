@@ -303,9 +303,27 @@ func (t *Tracer) IOBufLock(owner string, at sim.Cycles) {
 	t.emit(ev)
 }
 
+// Fault records a fault-injection or hardware-loss event as an instant
+// on the owner's (or NIC's) track: kind is "netDrop", "netCorrupt",
+// "netDup", "netDelay", "linkFlap", "partition", "failpoint", or
+// "txDrop"; detail names the failpoint or carries free-form context.
+func (t *Tracer) Fault(kind, owner, detail string, at sim.Cycles) {
+	if t == nil {
+		return
+	}
+	ev := event{ph: 'i', cat: "fault", name: kind, pid: 0, ts: at}
+	ev.tid = t.track(0, owner)
+	if detail != "" {
+		ev.args[0] = kvArg{"detail", detail}
+		ev.nargs = 1
+	}
+	t.emit(ev)
+}
+
 // Policy records a policy trigger (§4.4): kind is "synCapDrop",
-// "maxRuntime", "protFault", "penaltyRecord", or "penaltyRoute";
-// owner names the track the event lands on; detail is free-form.
+// "maxRuntime", "protFault", "penaltyRecord", "penaltyRoute",
+// "watchdogDemote", "watchdogKill", or "overloadShed"; owner names the
+// track the event lands on; detail is free-form.
 func (t *Tracer) Policy(kind, owner, detail string, at sim.Cycles) {
 	if t == nil {
 		return

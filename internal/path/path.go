@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/lib"
 	"repro/internal/module"
@@ -78,6 +79,7 @@ type Path struct {
 	pendingDestroy bool
 	staticKmem     uint64 // path struct + crossings hash charge
 	domHooks       []domHook
+	killHooks      []func() // run by Kill before the owner dies
 
 	// Drops counts inbound messages rejected because the input queue was
 	// full — the flood backstop.
@@ -123,6 +125,20 @@ func (p *Path) Spawn(name string, fn func(ctx *kernel.Ctx)) {
 	}
 	p.mgr.k.Spawn(&p.Owner, name, fn, SpawnOptsForPath(p))
 }
+
+// PendingWork returns the depth of the path's inbound work queue: the
+// messages and control items accepted but not yet processed. The
+// watchdog uses it to distinguish a starved path (work pending, no
+// progress) from an idle one.
+func (p *Path) PendingWork() int { return p.q[qWork].Len() }
+
+// OnKill registers fn to run if the path is summarily killed, while
+// the path's owner can still receive refunds. Module-level per-path
+// state that is charged but not kernel-tracked (the TCP module's TCBs)
+// registers here so pathKill reclaims 100% of the owner's resources
+// immediately instead of waiting for the module's periodic sweep.
+// Hooks do not run on orderly destroy — module destructors own that.
+func (p *Path) OnKill(fn func()) { p.killHooks = append(p.killHooks, fn) }
 
 // RefCnt returns the current reference count.
 func (p *Path) RefCnt() int { return p.refCnt }
@@ -334,8 +350,11 @@ type Manager struct {
 	k       *kernel.Kernel
 	graph   *module.Graph
 	paths   map[*Path]struct{}
+	order   []*Path // live paths in creation order (deterministic iteration)
 	byOwner map[*core.Owner]*Path
 	tracer  *obs.Tracer // resolved once from the kernel; nil when disabled
+
+	failKmem *fault.Point // "kmem.alloc" failpoint, resolved once
 
 	classifier FrameClassifier
 
@@ -351,11 +370,30 @@ type Manager struct {
 // NewManager returns a path manager over the given graph.
 func NewManager(g *module.Graph) *Manager {
 	return &Manager{
-		k:       g.Kernel(),
-		graph:   g,
-		paths:   make(map[*Path]struct{}),
-		byOwner: make(map[*core.Owner]*Path),
-		tracer:  g.Kernel().Tracer(),
+		k:        g.Kernel(),
+		graph:    g,
+		paths:    make(map[*Path]struct{}),
+		byOwner:  make(map[*core.Owner]*Path),
+		tracer:   g.Kernel().Tracer(),
+		failKmem: g.Kernel().FaultSet().Point("kmem.alloc"),
+	}
+}
+
+// Paths returns the live paths in creation order. The slice is a
+// copy, so callers (the watchdog) may kill paths while iterating.
+func (mgr *Manager) Paths() []*Path {
+	return append([]*Path(nil), mgr.order...)
+}
+
+// dropPath removes p from the live-path bookkeeping.
+func (mgr *Manager) dropPath(p *Path) {
+	delete(mgr.paths, p)
+	delete(mgr.byOwner, &p.Owner)
+	for i, q := range mgr.order {
+		if q == p {
+			mgr.order = append(mgr.order[:i], mgr.order[i+1:]...)
+			break
+		}
 	}
 }
 
@@ -400,6 +438,15 @@ func (mgr *Manager) create(ctx *kernel.Ctx, name, start string, attrs lib.Attrs)
 	k := mgr.k
 	model := k.Model()
 	tr := mgr.tracer
+	// The allocation failpoint fires before the path owner exists or
+	// any charge lands, so a failed create needs no refunds.
+	if mgr.failKmem.Fire() {
+		if tr != nil {
+			tr.Fault("failpoint", name, "kmem.alloc", k.Engine().Now())
+		}
+		k.FaultCounters().Inc(name)
+		return nil, fmt.Errorf("path: create %q: %w", name, fault.ErrInjected)
+	}
 	var began sim.Cycles
 	if tr != nil {
 		began = k.Engine().Now()
@@ -477,7 +524,13 @@ func (mgr *Manager) create(ctx *kernel.Ctx, name, start string, attrs lib.Attrs)
 	}
 	p.workSem = k.NewSemaphore(&p.Owner, name+":work", 0)
 	for i := 0; i < workerCount; i++ {
-		k.Spawn(&p.Owner, name+":worker", p.worker, SpawnOptsForPath(p))
+		if _, err := k.SpawnChecked(&p.Owner, name+":worker", p.worker, SpawnOptsForPath(p)); err != nil {
+			// A path without its worker pool would hang on arrival;
+			// abort and reclaim instead (abortCreate releases every
+			// charge made so far).
+			mgr.abortCreate(p)
+			return nil, fmt.Errorf("path: create %q: %w", name, err)
+		}
 	}
 
 	// A destroyed protection domain takes every path crossing it down
@@ -496,6 +549,7 @@ func (mgr *Manager) create(ctx *kernel.Ctx, name, start string, attrs lib.Attrs)
 
 	p.alive = true
 	mgr.paths[p] = struct{}{}
+	mgr.order = append(mgr.order, p)
 	mgr.byOwner[&p.Owner] = p
 	if tr != nil {
 		tr.PathCreate(name, len(p.stages), began, k.Engine().Now())
@@ -510,7 +564,17 @@ func SpawnOptsForPath(p *Path) kernel.SpawnOpts {
 }
 
 func (mgr *Manager) abortCreate(p *Path) {
-	// Partial path: reclaim what was built, without destructors.
+	// Partial path: reclaim what was built, without destructors. Kill
+	// hooks run first, while the owner is still live, so modules whose
+	// CreateStage already ran can drop their per-path state and refund
+	// their charges (TCP's TCB is the canonical case); then the
+	// manager's own static charges come back, leaving the dead owner's
+	// books at zero.
+	for _, fn := range p.killHooks {
+		fn()
+	}
+	p.killHooks = nil
+	p.Owner.RefundKmem(p.staticKmem)
 	mgr.k.DestroyOwner(&p.Owner, true)
 }
 
@@ -556,8 +620,7 @@ func (mgr *Manager) Destroy(ctx *kernel.Ctx, p *Path) {
 	p.releaseDomainCharges(false)
 	p.Owner.RefundKmem(p.staticKmem)
 	mgr.k.DestroyOwner(&p.Owner, false)
-	delete(mgr.paths, p)
-	delete(mgr.byOwner, &p.Owner)
+	mgr.dropPath(p)
 	if tr != nil {
 		tr.PathDestroy(p.name, began, mgr.k.Engine().Now())
 	}
@@ -575,13 +638,16 @@ func (mgr *Manager) Kill(p *Path) sim.Cycles {
 	start := mgr.k.Engine().Now()
 	p.alive = false
 	mgr.Kills++
+	for _, fn := range p.killHooks {
+		fn()
+	}
+	p.killHooks = nil
 	p.dropDomainHooks()
 	p.drainQueues()
 	p.releaseDomainCharges(true)
 	p.Owner.RefundKmem(p.staticKmem)
 	mgr.k.DestroyOwner(&p.Owner, true)
-	delete(mgr.paths, p)
-	delete(mgr.byOwner, &p.Owner)
+	mgr.dropPath(p)
 	reclaimed := mgr.k.Engine().Now() - start
 	if tr := mgr.tracer; tr != nil {
 		tr.PathKill(p.name, reclaimed, start, mgr.k.Engine().Now())

@@ -15,8 +15,6 @@
 package policy
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/lib"
@@ -132,10 +130,13 @@ func DemotePriority(p module.PathRef) {
 // addresses (fed by the TCP module's abnormal-death notification) and
 // serves as the match predicate of the penalty passive path.
 type PenaltyBox struct {
-	offenders map[uint32]sim.Cycles // source IP -> when recorded
+	offenders map[uint32]*boxEntry
 	eng       interface{ Now() sim.Cycles }
 
-	// Expiry forgives an offender after this long (zero: never).
+	// Expiry forgives a first-time offender after this long (zero:
+	// never). Repeat offenders wait exponentially longer: the n-th
+	// strike boxes the address for Expiry << (n-1), capped at
+	// maxBackoffShift doublings — the re-admission backoff.
 	Expiry sim.Cycles
 
 	// Recorded counts offender registrations (including repeats).
@@ -146,39 +147,78 @@ type PenaltyBox struct {
 	Tracer *obs.Tracer
 }
 
-// NewPenaltyBox returns an empty penalty box on the given clock.
-func NewPenaltyBox(eng interface{ Now() sim.Cycles }, expiry sim.Cycles) *PenaltyBox {
-	return &PenaltyBox{offenders: make(map[uint32]sim.Cycles), eng: eng, Expiry: expiry}
+// boxEntry is one offender's record: when it last offended and how many
+// times in total. Strikes persist past expiry, so an address that
+// re-offends after being forgiven is boxed for longer each time.
+type boxEntry struct {
+	at      sim.Cycles
+	strikes uint
 }
 
-// Record registers an offender.
+// maxBackoffShift caps the exponential backoff (2^15 doublings of the
+// base expiry is already effectively forever at simulation scale).
+const maxBackoffShift = 16
+
+// NewPenaltyBox returns an empty penalty box on the given clock.
+func NewPenaltyBox(eng interface{ Now() sim.Cycles }, expiry sim.Cycles) *PenaltyBox {
+	return &PenaltyBox{offenders: make(map[uint32]*boxEntry), eng: eng, Expiry: expiry}
+}
+
+// Record registers an offender, adding a strike if it is already known.
 func (pb *PenaltyBox) Record(srcIP uint32) {
 	pb.Recorded++
-	pb.offenders[srcIP] = pb.eng.Now()
+	e := pb.offenders[srcIP]
+	if e == nil {
+		e = &boxEntry{}
+		pb.offenders[srcIP] = e
+	}
+	e.at = pb.eng.Now()
+	e.strikes++
 	if tr := pb.Tracer; tr != nil {
-		tr.Policy("penaltyRecord", "PenaltyBox", formatIP(srcIP), pb.eng.Now())
+		tr.Policy("penaltyRecord", "PenaltyBox", lib.FormatIPv4(srcIP), pb.eng.Now())
 	}
 }
 
-// formatIP renders a source address in dotted-quad form for trace events.
-func formatIP(ip uint32) string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+// boxedFor returns how long an entry with the given strike count stays
+// boxed after its last offense.
+func (pb *PenaltyBox) boxedFor(strikes uint) sim.Cycles {
+	if strikes == 0 {
+		return 0
+	}
+	if strikes > maxBackoffShift {
+		strikes = maxBackoffShift
+	}
+	return pb.Expiry << (strikes - 1)
 }
 
-// IsOffender reports whether the address is currently boxed.
+// IsOffender reports whether the address is currently boxed. Expired
+// entries are retained (their strikes feed the backoff) but no longer
+// match.
 func (pb *PenaltyBox) IsOffender(srcIP uint32) bool {
-	at, ok := pb.offenders[srcIP]
+	e, ok := pb.offenders[srcIP]
 	if !ok {
 		return false
 	}
-	if pb.Expiry > 0 && pb.eng.Now()-at > pb.Expiry {
-		delete(pb.offenders, srcIP)
-		return false
-	}
-	return true
+	return pb.Expiry == 0 || pb.eng.Now()-e.at <= pb.boxedFor(e.strikes)
 }
 
-// Count returns the number of boxed addresses.
+// Strikes returns the address's total strike count (including forgiven
+// offenses).
+func (pb *PenaltyBox) Strikes(srcIP uint32) uint {
+	if e, ok := pb.offenders[srcIP]; ok {
+		return e.strikes
+	}
+	return 0
+}
+
+// Count returns the number of currently boxed addresses.
 func (pb *PenaltyBox) Count() int {
-	return len(pb.offenders)
+	now := pb.eng.Now()
+	n := 0
+	for _, e := range pb.offenders {
+		if pb.Expiry == 0 || now-e.at <= pb.boxedFor(e.strikes) {
+			n++
+		}
+	}
+	return n
 }

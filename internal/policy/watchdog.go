@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/path"
+	"repro/internal/sim"
+)
+
+// DefaultWatchdogStall is the no-progress threshold after which a path
+// with queued work is considered stuck: 25 master-tick-sized quanta.
+const DefaultWatchdogStall = 50 * sim.CyclesPerMillisecond
+
+// WatchdogConfig tunes the hung-path watchdog (see ROBUSTNESS.md).
+type WatchdogConfig struct {
+	// Stall is the no-progress threshold: a path holding queued work
+	// that delivers nothing for Stall cycles is demoted; one that stays
+	// stuck for another Stall is killed. Zero means
+	// DefaultWatchdogStall.
+	Stall sim.Cycles
+	// Interval is the scan period. Zero means Stall/4 (so escalation
+	// latency is at most a quarter-threshold past exact).
+	Interval sim.Cycles
+}
+
+// Watchdog detects hung or starved paths and escalates: first demote
+// the path's allocation, then pathKill it. Fault injection (and real
+// bugs) can wedge a path with its resources pinned; the watchdog is the
+// graceful-degradation backstop that turns a silent hang into the same
+// contained reclamation a runaway triggers.
+type Watchdog struct {
+	k   *kernel.Kernel
+	mgr *path.Manager
+	cfg WatchdogConfig
+
+	seen map[*path.Path]watchState
+
+	// Demotions and Kills count escalations; ReclaimedCycles totals the
+	// pathKill teardown cost.
+	Demotions       uint64
+	Kills           uint64
+	ReclaimedCycles sim.Cycles
+}
+
+// watchState is one path's progress record between scans.
+type watchState struct {
+	progress uint64     // Delivered+Drops when it last changed
+	since    sim.Cycles // when it last changed
+	demoted  bool
+}
+
+// EnableWatchdog arms the watchdog on its own owner (the scan cost
+// shows up as a distinct ledger row, like the TCP master event).
+func EnableWatchdog(k *kernel.Kernel, mgr *path.Manager, cfg WatchdogConfig) *Watchdog {
+	if cfg.Stall == 0 {
+		cfg.Stall = DefaultWatchdogStall
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = cfg.Stall / 4
+	}
+	w := &Watchdog{k: k, mgr: mgr, cfg: cfg, seen: make(map[*path.Path]watchState)}
+	owner := k.NewOwner("Path Watchdog", core.DomainOwner)
+	k.RegisterEvent(owner, "Path Watchdog", cfg.Interval, cfg.Interval, w.scan)
+	return w
+}
+
+// scan walks the live paths in creation order; iteration state is
+// rebuilt each pass so dead paths cannot pin entries.
+func (w *Watchdog) scan(ctx *kernel.Ctx) {
+	model := w.k.Model()
+	ctx.Use(model.EventOp)
+	now := ctx.Now()
+	tr := w.k.Tracer()
+	next := make(map[*path.Path]watchState, len(w.seen))
+	for _, p := range w.mgr.Paths() {
+		ctx.Use(model.AccountingOp)
+		prog := p.Delivered + p.Drops
+		st, ok := w.seen[p]
+		if !ok || st.progress != prog {
+			st = watchState{progress: prog, since: now, demoted: st.demoted}
+		}
+		if stuck := p.PendingWork() > 0 && now-st.since >= w.cfg.Stall; stuck {
+			switch {
+			case !st.demoted:
+				DemotePriority(p)
+				st.demoted = true
+				w.Demotions++
+				if tr != nil {
+					tr.Policy("watchdogDemote", p.PathName(), "", now)
+				}
+			case now-st.since >= 2*w.cfg.Stall:
+				w.Kills++
+				w.ReclaimedCycles += w.mgr.Kill(p)
+				if tr != nil {
+					tr.Policy("watchdogKill", p.PathName(), "", w.k.Engine().Now())
+				}
+				continue // killed: no state to carry
+			}
+		}
+		next[p] = st
+	}
+	w.seen = next
+}

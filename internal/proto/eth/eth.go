@@ -11,6 +11,7 @@ import (
 	"repro/internal/module"
 	"repro/internal/msg"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/proto/wire"
 	"repro/internal/sim"
 )
@@ -34,9 +35,15 @@ type Module struct {
 
 	node    *module.Node
 	inbound module.InboundFn
+	tracer  *obs.Tracer        // resolved once at Init; nil when tracing is off
+	faults  *obs.FaultRegistry // per-owner fault counters; nil-safe
 
 	// RxInterrupts counts receive interrupts taken.
 	RxInterrupts uint64
+	// TxDrops counts frames the device refused (oversize): previously
+	// these vanished silently; now each drop is attributed to the
+	// sending path's owner.
+	TxDrops uint64
 }
 
 // New returns a driver named name for nic, demultiplexing IPv4 traffic
@@ -61,6 +68,8 @@ func (m *Module) Init(ic *module.InitCtx) error {
 	}
 	m.node = ic.Node
 	m.inbound = ic.Inbound
+	m.tracer = ic.K.Tracer()
+	m.faults = ic.K.FaultCounters()
 	domOwner := &ic.Node.Domain().Owner
 	m.nic.Rx = func(f netsim.Frame) {
 		m.RxInterrupts++
@@ -140,7 +149,14 @@ func (s *stage) Deliver(ctx *kernel.Ctx, dir module.Direction, mm *msg.Msg) (boo
 		frame = netsim.Frame{Dst: s.peer, Src: s.mod.nic.Mac, Data: append([]byte(nil), mm.Bytes()...)}
 	}
 	ctx.Use(sim.Cycles(len(frame.Data)) * model.PerByte)
-	s.mod.nic.Send(frame)
+	if !s.mod.nic.Send(frame) {
+		s.mod.TxDrops++
+		owner := ctx.Owner().Name
+		if tr := s.mod.tracer; tr != nil {
+			tr.Fault("txDrop", owner, s.mod.nic.Name, ctx.Now())
+		}
+		s.mod.faults.Inc(owner)
+	}
 	return false, nil
 }
 

@@ -361,8 +361,25 @@ func (c *conn) finish(ctx *kernel.Ctx) {
 	if c.m.Patterns != nil {
 		c.m.Patterns.Remove(connPatternName(c.key))
 	}
+	c.refundTCB()
 	c.m.Completed++
 	c.path.RequestDestroy()
+}
+
+// refundTCB returns the TCB's kmem charge to the path owner. Every
+// teardown route must pass through here before the owner dies, or the
+// dead owner keeps the 256 bytes on its books forever (the chaos
+// harness's leak sweep catches exactly that). When the path was killed
+// the owner may already be dead — the kill reclaimed everything, so
+// the refund is skipped rather than underflowed.
+func (c *conn) refundTCB() {
+	if !c.tcbCharged {
+		return
+	}
+	c.tcbCharged = false
+	if o := c.path.PathOwner(); o != nil && !o.Dead() {
+		o.RefundKmem(tcbKmem)
+	}
 }
 
 // abort reaps a half-open connection (SYN_RECVD timeout).
@@ -381,5 +398,6 @@ func (c *conn) abort(ctx *kernel.Ctx) {
 		c.listener.syncPattern()
 		c.listener = nil
 	}
+	c.refundTCB()
 	c.path.RequestDestroy()
 }

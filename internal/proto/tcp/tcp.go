@@ -142,6 +142,13 @@ type Module struct {
 	// policy of §4.4.4 feeds on it.
 	OnOffender func(srcIP uint32)
 
+	// Shed, when non-nil, is consulted before each new connection is
+	// accepted: a true return drops the SYN before the active path (and
+	// its kmem) exists. The overload-shedding policy wires this to
+	// kernel memory pressure. ShedCount counts the drops.
+	Shed      func() bool
+	ShedCount uint64
+
 	// RTO is the (fixed) retransmission timeout; SynRcvdTimeout reaps
 	// half-open connections; MasterPeriod is the master event interval.
 	RTO            sim.Cycles
@@ -234,6 +241,21 @@ func (m *Module) masterTick(ctx *kernel.Ctx) {
 	}
 }
 
+// reapKilled reclaims a connection whose path was summarily killed:
+// report abnormal deaths as offenders (§4.4.4) and return the TCB and
+// SYN_RECVD slot immediately. It is the prompt, per-kill form of the
+// master sweep's stale-entry branch (which remains as a backstop).
+func (m *Module) reapKilled(c *conn) {
+	if c.state == StateClosed {
+		return
+	}
+	if m.OnOffender != nil && c.state != StateSynRcvd {
+		m.OnOffender(c.remoteIP)
+	}
+	m.Reaped++
+	m.dropConn(c.key)
+}
+
 // dropConn removes a table entry whose path died (pathKill bypasses the
 // destructors, so the master sweep reclaims module-level state).
 func (m *Module) dropConn(key uint64) {
@@ -251,15 +273,7 @@ func (m *Module) dropConn(key uint64) {
 		c.listener.syncPattern()
 	}
 	c.state = StateClosed
-	// Return the TCB's kmem to the path owner. When the path was killed
-	// (pathKill marks the owner dead and zeroes its balances) the refund
-	// would underflow, so skip it — the kill already reclaimed everything.
-	if c.tcbCharged {
-		c.tcbCharged = false
-		if o := c.path.PathOwner(); o != nil && !o.Dead() {
-			o.RefundKmem(tcbKmem)
-		}
-	}
+	c.refundTCB()
 }
 
 func connPatternName(key uint64) string {
@@ -371,6 +385,12 @@ func (m *Module) CreateStage(pb module.PathBuilder, attrs lib.Attrs) (module.Sta
 	}
 	pb.PathOwner().ChargeKmem(tcbKmem) //escort:held TCB; refunded by dropConn at connection teardown
 	c.tcbCharged = true
+	// Reclaim the module-level state the moment the path is killed
+	// (rather than waiting for the next master sweep): pathKill must
+	// leave nothing behind, and the refund needs the owner still live.
+	if kp, ok := c.path.(interface{ OnKill(func()) }); ok {
+		kp.OnKill(func() { m.reapKilled(c) })
+	}
 	// Connection setup work (TCB init, sequence selection) belongs to
 	// the connection's own path.
 	m.k.Burn(pb.PathOwner(), m.k.Model().TCPConnSetup)
@@ -462,6 +482,13 @@ func (s *passiveStage) Deliver(ctx *kernel.Ctx, dir module.Direction, mm *msg.Ms
 		s.l.DroppedSyn++
 		if tr := m.tracer; tr != nil {
 			tr.Policy("synCapDrop", s.l.path.PathName(), s.l.TrustClass, m.k.Engine().Now())
+		}
+		return false, nil
+	}
+	if m.Shed != nil && m.Shed() {
+		m.ShedCount++
+		if tr := m.tracer; tr != nil {
+			tr.Policy("overloadShed", s.l.path.PathName(), s.l.TrustClass, m.k.Engine().Now())
 		}
 		return false, nil
 	}
