@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt fmt-check vet check bench bench-smoke chaos-smoke
+.PHONY: all build test race lint lint-json lint-sarif fmt fmt-check vet check bench bench-smoke chaos-smoke
 
 all: check
 
@@ -17,6 +17,14 @@ race:
 lint:
 	$(GO) run ./cmd/escort-lint ./...
 
+# lint-json emits the same findings as a machine-readable document.
+lint-json:
+	$(GO) run ./cmd/escort-lint -json ./...
+
+# lint-sarif writes escort-lint.sarif for CI artifact upload.
+lint-sarif:
+	$(GO) run ./cmd/escort-lint -sarif ./... > escort-lint.sarif
+
 fmt:
 	gofmt -w .
 
@@ -32,15 +40,16 @@ vet:
 # check is what CI runs (minus the networked staticcheck/govulncheck job).
 check: fmt-check vet build lint test
 
-# bench regenerates BENCH_4.json: conn/s per Figure 8 point, the sweep
+# bench regenerates BENCH_5.json: conn/s per Figure 8 point, the sweep
 # runner's sims/sec (serial vs parallel), and the engine hot path's
-# ns/op + allocs/op. See DESIGN.md's Performance section; compare
-# against BENCH_3.json to confirm the no-fault fast path costs nothing.
+# ns/op, with bytes/op + allocs/op promoted to first-class fields so
+# allocation regressions diff directly. Compare against BENCH_4.json;
+# the hotpathalloc analyzer guards the paths these numbers price.
 bench:
 	{ $(GO) test -run '^$$' -bench 'Fig8' -benchmem . && \
 	  $(GO) test -run '^$$' -bench 'Engine' -benchmem ./internal/sim; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_4.json
-	@cat BENCH_4.json
+	  | $(GO) run ./cmd/benchjson > BENCH_5.json
+	@cat BENCH_5.json
 
 # bench-smoke is the CI guard: one iteration of every Figure 8
 # benchmark under the race detector, so the parallel sweep path stays

@@ -23,10 +23,16 @@ import (
 // count, and every reported metric keyed by unit (ns/op, conn/s,
 // sims/sec, B/op, allocs/op, ...).
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Pkg        string             `json:"pkg,omitempty"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name       string `json:"name"`
+	Pkg        string `json:"pkg,omitempty"`
+	Iterations int64  `json:"iterations"`
+	// AllocsPerOp and BytesPerOp are promoted from the metrics map
+	// (-benchmem's allocs/op and B/op) so allocation regressions diff as
+	// first-class fields across BENCH_N.json documents. They are -1 when
+	// the run did not pass -benchmem.
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
 }
 
 // Doc is the whole BENCH_3.json document.
@@ -98,6 +104,13 @@ func parseBenchLine(line string) (Benchmark, bool, error) {
 			return Benchmark{}, false, fmt.Errorf("%s: bad metric value %q", f[0], f[i])
 		}
 		b.Metrics[f[i+1]] = v
+	}
+	b.AllocsPerOp, b.BytesPerOp = -1, -1
+	if v, ok := b.Metrics["allocs/op"]; ok {
+		b.AllocsPerOp = v
+	}
+	if v, ok := b.Metrics["B/op"]; ok {
+		b.BytesPerOp = v
 	}
 	return b, true, nil
 }

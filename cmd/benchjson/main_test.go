@@ -38,13 +38,22 @@ func TestParse(t *testing.T) {
 	if fig8.Metrics["conn/s"] != 785.0 || fig8.Metrics["allocs/op"] != 197756 {
 		t.Fatalf("fig8 metrics: %+v", fig8.Metrics)
 	}
+	if fig8.AllocsPerOp != 197756 || fig8.BytesPerOp != 1986544 {
+		t.Fatalf("fig8 promoted alloc metrics: %+v", fig8)
+	}
 	sweep := doc.Benchmarks[1]
 	if sweep.Metrics["sims/sec"] != 13.2 {
 		t.Fatalf("sweep metrics: %+v", sweep.Metrics)
 	}
+	if sweep.AllocsPerOp != -1 || sweep.BytesPerOp != -1 {
+		t.Fatalf("sweep should have no promoted alloc metrics: %+v", sweep)
+	}
 	eng := doc.Benchmarks[2]
 	if eng.Pkg != "repro/internal/sim" || eng.Metrics["ns/op"] != 45.89 || eng.Metrics["allocs/op"] != 0 {
 		t.Fatalf("engine: %+v", eng)
+	}
+	if eng.AllocsPerOp != 0 || eng.BytesPerOp != 0 {
+		t.Fatalf("engine promoted alloc metrics: %+v", eng)
 	}
 }
 

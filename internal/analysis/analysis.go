@@ -160,8 +160,9 @@ func (lc LineComments) HasAnnotation(line int, verb, want string) bool {
 			if !ok {
 				continue
 			}
-			if verb == "held" {
-				// escort:held takes a free-form reason; presence is enough.
+			if verb == "held" || verb == "coldpath" {
+				// escort:held and escort:coldpath take a free-form
+				// reason; presence is enough.
 				return true
 			}
 			fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })

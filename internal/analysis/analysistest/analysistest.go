@@ -20,6 +20,7 @@ package analysistest
 import (
 	"go/ast"
 	"go/parser"
+	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
@@ -105,10 +106,16 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
 		}
 	}
 
-	// Type-check the fixture as its own little package; module imports
-	// resolve through the loader, stdlib through the source importer.
+	// Type-check the fixture as its own little package; sibling fixture
+	// packages resolve against the fixture tree, module imports through
+	// the loader, stdlib through the source importer.
 	info := load.NewInfo()
-	cfg := types.Config{Importer: l.Importer()}
+	cfg := types.Config{Importer: &fixtureImporter{
+		root:  filepath.Dir(dir),
+		fset:  fset,
+		under: l.Importer(),
+		cache: map[string]*types.Package{},
+	}}
 	pkgPath := filepath.Base(dir)
 	tpkg, err := cfg.Check(pkgPath, fset, files, info)
 	if err != nil {
@@ -168,6 +175,50 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
 		}
 	}
 	return diags
+}
+
+// fixtureImporter resolves import paths as sibling fixture packages
+// first — testdata/src/<path> next to the fixture under test — and
+// falls back to the module loader otherwise. It makes cross-package
+// fixtures work: testdata/src/b can `import "a"` and exercise an
+// analyzer across a package boundary.
+type fixtureImporter struct {
+	root  string // the testdata/src directory
+	fset  *token.FileSet
+	under types.Importer
+	cache map[string]*types.Package
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return im.under.Import(path)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		return im.under.Import(path)
+	}
+	cfg := types.Config{Importer: im}
+	pkg, err := cfg.Check(path, im.fset, files, load.NewInfo())
+	if err != nil {
+		return nil, err
+	}
+	im.cache[path] = pkg
+	return pkg, nil
 }
 
 // moduleRoot walks up from the test's working directory to the

@@ -1,0 +1,502 @@
+// Package cfg builds per-function control-flow graphs over go/ast, the
+// foundation the dataflow solver (internal/analysis/dataflow) iterates
+// on. It is deliberately syntax-only — no type information — so a graph
+// can be built for any parsed function, fixture or real, and the same
+// graph serves every analyzer.
+//
+// A Graph has one Entry block, one synthetic Exit block, and a body
+// block per straight-line run of statements. Composite statements are
+// decomposed: a Block's Nodes slice holds only leaf statements and bare
+// expressions (conditions, switch tags, range operands, case
+// expressions) in evaluation order, never a statement with a nested
+// body, so analyses can scan Nodes without worrying about descending
+// into a branch that belongs to another block.
+//
+// Edges model Go control flow:
+//
+//   - if/else, for (init/cond/post), range, switch (with fallthrough
+//     and the implicit no-default exit), type switch, select (no
+//     head→done edge without a default: some case always runs),
+//   - break/continue with and without labels, goto (forward and
+//     backward), labeled statements,
+//   - return and panic edges to Exit (panic-terminated blocks are
+//     marked IsPanic so analyses can exempt crash paths),
+//   - defer: the DeferStmt is recorded both in its block (argument
+//     evaluation happens there) and in Graph.Defers (the call itself
+//     runs on every path into Exit).
+//
+// Unreachable code after a terminator lands in fresh blocks with no
+// predecessors; solvers see their facts stay at the initial value.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks in creation order; Blocks[i].Index == i.
+	Blocks []*Block
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is a synthetic, empty block; every return, panic, and
+	// fall-off-the-end path has an edge into it.
+	Exit *Block
+	// Defers lists every defer statement in the function, in the order
+	// encountered. Deferred calls run on each path into Exit (if their
+	// DeferStmt was reached on that path).
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	// Kind names the construct that created the block ("entry", "exit",
+	// "if.then", "for.head", "select.case", ...) for dumps and debugging.
+	Kind string
+	// Nodes holds the block's leaf statements and expressions in
+	// evaluation order. Never a composite statement.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Return is set when the block ends with a return statement (the
+	// ReturnStmt is also the last entry of Nodes).
+	Return *ast.ReturnStmt
+	// IsPanic marks a block terminated by a call to panic.
+	IsPanic bool
+}
+
+// New builds the graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is an implicit return.
+	b.edgeTo(g.Exit)
+	return g
+}
+
+// Reachable reports the blocks reachable from Entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Dump renders the graph structure for golden tests and debugging: one
+// paragraph per block with its kind, nodes (type and line), and
+// successor indices.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		if blk.IsPanic {
+			sb.WriteString(" panic")
+		}
+		sb.WriteString("\n")
+		for _, n := range blk.Nodes {
+			name := fmt.Sprintf("%T", n)
+			name = strings.TrimPrefix(name, "*ast.")
+			if fset != nil {
+				fmt.Fprintf(&sb, "\t%s L%d\n", name, fset.Position(n.Pos()).Line)
+			} else {
+				fmt.Fprintf(&sb, "\t%s\n", name)
+			}
+		}
+		sb.WriteString("\t->")
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block // nil while the current path is terminated
+
+	// targets is the break/continue resolution stack, innermost last.
+	targets []target
+	// labels maps a label name to the block control lands in at that
+	// label (created on first reference, forward gotos included).
+	labels map[string]*Block
+	// fallTarget is the next case body while building a switch clause,
+	// for fallthrough.
+	fallTarget *Block
+}
+
+type target struct {
+	label string
+	brk   *Block // break destination
+	cont  *Block // continue destination (nil for switch/select)
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// edgeTo adds an edge from the current block, if the path is live.
+func (b *builder) edgeTo(to *Block) {
+	if b.cur != nil {
+		edge(b.cur, to)
+	}
+}
+
+// add appends a leaf node to the current block, reviving a dead path
+// into a fresh unreachable block (code after return/panic/goto).
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// labelBlock returns (creating on first use) the block for a label.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) findTarget(label string, wantCont bool) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if label != "" && t.label != label {
+			continue
+		}
+		if wantCont {
+			if t.cont != nil {
+				return t.cont
+			}
+			if label != "" {
+				return nil // continue to a non-loop label: invalid Go
+			}
+			continue // continue skips switch/select frames
+		}
+		return t.brk
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt builds one statement. label is the name of the directly
+// enclosing labeled statement ("" when unlabeled): loops and switches
+// register their break/continue targets under it.
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.EmptyStmt:
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			if b.cur != nil {
+				b.cur.IsPanic = true
+			}
+			b.edgeTo(b.g.Exit)
+			b.cur = nil
+		}
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.SendStmt, *ast.GoStmt:
+		b.add(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.Return = s
+		b.edgeTo(b.g.Exit)
+		b.cur = nil
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edgeTo(lb)
+		b.cur = lb
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	default:
+		// Unknown statement kinds (future syntax) pass through opaque.
+		b.add(s)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK, token.CONTINUE:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		if t := b.findTarget(label, s.Tok == token.CONTINUE); t != nil {
+			b.edgeTo(t)
+		}
+		b.cur = nil
+	case token.GOTO:
+		if s.Label != nil {
+			b.edgeTo(b.labelBlock(s.Label.Name))
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.edgeTo(b.fallTarget)
+		}
+		b.cur = nil
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	if cond != nil {
+		edge(cond, then)
+	}
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	hasElse := s.Else != nil
+	if hasElse {
+		els := b.newBlock("if.else")
+		if cond != nil {
+			edge(cond, els)
+		}
+		b.cur = els
+		b.stmt(s.Else, "")
+		elseEnd = b.cur
+	}
+	done := b.newBlock("if.done")
+	if !hasElse && cond != nil {
+		edge(cond, done)
+	}
+	if thenEnd != nil {
+		edge(thenEnd, done)
+	}
+	if elseEnd != nil {
+		edge(elseEnd, done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	head := b.newBlock("for.head")
+	b.edgeTo(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock("for.body")
+	edge(head, body)
+	var post *Block
+	cont := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		cont = post
+	}
+	done := b.newBlock("for.done")
+	if s.Cond != nil {
+		edge(head, done) // cond false
+	}
+	b.targets = append(b.targets, target{label: label, brk: done, cont: cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	if post != nil {
+		b.edgeTo(post)
+		b.cur = post
+		b.stmt(s.Post, "")
+		b.edgeTo(head)
+	} else {
+		b.edgeTo(head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	b.edgeTo(head)
+	body := b.newBlock("range.body")
+	edge(head, body)
+	done := b.newBlock("range.done")
+	edge(head, done)
+	b.targets = append(b.targets, target{label: label, brk: done, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.edgeTo(head)
+	b.cur = done
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseBodies(s.Body, label, func(cl *ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool) {
+		return cl.List, cl.Body, cl.List == nil
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	b.add(s.Assign)
+	b.caseBodies(s.Body, label, func(cl *ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool) {
+		return cl.List, cl.Body, cl.List == nil
+	})
+}
+
+// caseBodies builds the clause blocks shared by switch and type switch:
+// every clause body is a successor of the head, fallthrough chains to
+// the next body, and a missing default adds the fall-past-all edge.
+func (b *builder) caseBodies(body *ast.BlockStmt, label string,
+	split func(*ast.CaseClause) ([]ast.Expr, []ast.Stmt, bool)) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("switch.done")
+	hasDefault := false
+
+	// Create body blocks first so fallthrough has its target.
+	var bodies []*Block
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		cl := c.(*ast.CaseClause)
+		_, _, isDefault := split(cl)
+		kind := "case.body"
+		if isDefault {
+			kind = "case.default"
+			hasDefault = true
+		}
+		blk := b.newBlock(kind)
+		edge(head, blk)
+		bodies = append(bodies, blk)
+		clauses = append(clauses, cl)
+	}
+	if !hasDefault {
+		edge(head, done)
+	}
+	b.targets = append(b.targets, target{label: label, brk: done})
+	outerFall := b.fallTarget
+	for i, cl := range clauses {
+		exprs, stmts, _ := split(cl)
+		b.cur = bodies[i]
+		for _, e := range exprs {
+			b.add(e)
+		}
+		b.fallTarget = nil
+		if i+1 < len(bodies) {
+			b.fallTarget = bodies[i+1]
+		}
+		b.stmtList(stmts)
+		b.edgeTo(done)
+	}
+	b.fallTarget = outerFall
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("select.done")
+	b.targets = append(b.targets, target{label: label, brk: done})
+	for _, c := range s.Body.List {
+		cl := c.(*ast.CommClause)
+		kind := "select.case"
+		if cl.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		edge(head, blk)
+		b.cur = blk
+		if cl.Comm != nil {
+			b.stmt(cl.Comm, "")
+		}
+		b.stmtList(cl.Body)
+		b.edgeTo(done)
+	}
+	// Without a default the select blocks until some case runs; there
+	// is no path that skips every clause, so no head->done edge.
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+// isPanicCall recognizes a direct call to the predeclared panic. The
+// builder has no type information; shadowing panic with a local
+// function is assumed not to happen (go vet flags it anyway).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

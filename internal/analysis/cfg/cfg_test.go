@@ -1,0 +1,425 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src (a file body containing one function named f) and
+// returns the function's graph and fset.
+func build(t *testing.T, src string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package x\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return New(fd.Body), fset
+		}
+	}
+	t.Fatalf("no func f in src")
+	return nil, nil
+}
+
+// golden asserts the structural dump of f's graph. Node lines omit the
+// L<line> suffix so fixtures stay robust to reformatting; the block
+// structure and edges are matched exactly.
+func golden(t *testing.T, src, want string) {
+	t.Helper()
+	g, fset := build(t, src)
+	got := g.Dump(fset)
+	// Strip " L<n>" position suffixes.
+	var lines []string
+	for _, l := range strings.Split(got, "\n") {
+		if i := strings.LastIndex(l, " L"); i > 0 && strings.HasPrefix(l, "\t") {
+			l = l[:i]
+		}
+		lines = append(lines, l)
+	}
+	got = strings.Join(lines, "\n")
+	want = strings.TrimLeft(want, "\n")
+	if got != strings.TrimLeft(want, "\n") {
+		t.Errorf("graph mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	golden(t, `
+func f(a bool) int {
+	x := 0
+	if a {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, `
+b0 entry:
+	AssignStmt
+	Ident
+	-> b2 b3
+b1 exit:
+	->
+b2 if.then:
+	AssignStmt
+	-> b4
+b3 if.else:
+	AssignStmt
+	-> b4
+b4 if.done:
+	ReturnStmt
+	-> b1
+`)
+}
+
+func TestForBreakContinue(t *testing.T) {
+	golden(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}`, `
+b0 entry:
+	AssignStmt
+	AssignStmt
+	-> b2
+b1 exit:
+	->
+b2 for.head:
+	BinaryExpr
+	-> b3 b5
+b3 for.body:
+	BinaryExpr
+	-> b6 b7
+b4 for.post:
+	IncDecStmt
+	-> b2
+b5 for.done:
+	ReturnStmt
+	-> b1
+b6 if.then:
+	-> b4
+b7 if.done:
+	BinaryExpr
+	-> b8 b9
+b8 if.then:
+	-> b5
+b9 if.done:
+	AssignStmt
+	-> b4
+`)
+}
+
+// TestGoto covers forward and backward gotos: the label block is
+// created at first reference and patched when the label is reached.
+func TestGoto(t *testing.T) {
+	golden(t, `
+func f(a bool) int {
+	x := 0
+retry:
+	x++
+	if a {
+		goto retry
+	}
+	if x > 10 {
+		goto out
+	}
+	x += 2
+out:
+	return x
+}`, `
+b0 entry:
+	AssignStmt
+	-> b2
+b1 exit:
+	->
+b2 label.retry:
+	IncDecStmt
+	Ident
+	-> b3 b4
+b3 if.then:
+	-> b2
+b4 if.done:
+	BinaryExpr
+	-> b5 b7
+b5 if.then:
+	-> b6
+b6 label.out:
+	ReturnStmt
+	-> b1
+b7 if.done:
+	AssignStmt
+	-> b6
+`)
+}
+
+// TestDeferNamedReturns: the defer's argument evaluation sits in the
+// block where the defer executes; the DeferStmt is also recorded in
+// Graph.Defers, and named-return mutation inside the deferred closure
+// does not disturb the block structure.
+func TestDeferNamedReturns(t *testing.T) {
+	src := `
+func f(a bool) (err error) {
+	defer func() {
+		if err != nil {
+			err = nil
+		}
+	}()
+	if a {
+		return nil
+	}
+	return err
+}`
+	golden(t, src, `
+b0 entry:
+	DeferStmt
+	Ident
+	-> b2 b3
+b1 exit:
+	->
+b2 if.then:
+	ReturnStmt
+	-> b1
+b3 if.done:
+	ReturnStmt
+	-> b1
+`)
+	g, _ := build(t, src)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(g.Defers))
+	}
+	for _, blk := range g.Blocks {
+		if blk.Kind == "if.then" && blk.Return == nil {
+			t.Errorf("if.then block missing Return")
+		}
+	}
+}
+
+// TestSelectDefault: with a default clause every path through the
+// select is explicit; without one there is no head->done edge.
+func TestSelectDefault(t *testing.T) {
+	golden(t, `
+func f(ch chan int) int {
+	x := 0
+	select {
+	case v := <-ch:
+		x = v
+	default:
+		x = -1
+	}
+	return x
+}`, `
+b0 entry:
+	AssignStmt
+	-> b3 b4
+b1 exit:
+	->
+b2 select.done:
+	ReturnStmt
+	-> b1
+b3 select.case:
+	AssignStmt
+	AssignStmt
+	-> b2
+b4 select.default:
+	AssignStmt
+	-> b2
+`)
+}
+
+func TestSelectNoDefaultBlocks(t *testing.T) {
+	g, _ := build(t, `
+func f(ch chan int) {
+	select {
+	case <-ch:
+	}
+}`)
+	// head (entry) must have exactly one successor: the case body.
+	if n := len(g.Entry.Succs); n != 1 {
+		t.Fatalf("entry successors = %d, want 1 (no implicit skip edge without default)", n)
+	}
+}
+
+func TestSwitchFallthroughNoDefault(t *testing.T) {
+	golden(t, `
+func f(x int) int {
+	switch x {
+	case 1:
+		x = 10
+		fallthrough
+	case 2:
+		x = 20
+	}
+	return x
+}`, `
+b0 entry:
+	Ident
+	-> b3 b4 b2
+b1 exit:
+	->
+b2 switch.done:
+	ReturnStmt
+	-> b1
+b3 case.body:
+	BasicLit
+	AssignStmt
+	-> b4
+b4 case.body:
+	BasicLit
+	AssignStmt
+	-> b2
+`)
+}
+
+func TestRangeAndPanic(t *testing.T) {
+	golden(t, `
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		if v < 0 {
+			panic("negative")
+		}
+		s += v
+	}
+	return s
+}`, `
+b0 entry:
+	AssignStmt
+	Ident
+	-> b2
+b1 exit:
+	->
+b2 range.head:
+	-> b3 b4
+b3 range.body:
+	BinaryExpr
+	-> b5 b6
+b4 range.done:
+	ReturnStmt
+	-> b1
+b5 if.then: panic
+	ExprStmt
+	-> b1
+b6 if.done:
+	AssignStmt
+	-> b2
+`)
+}
+
+// TestLabeledLoops: break/continue with labels resolve through the
+// target stack to the labeled loop, not the innermost one.
+func TestLabeledLoops(t *testing.T) {
+	g, _ := build(t, `
+func f(m [][]int) int {
+	s := 0
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				continue outer
+			}
+			if v < 0 {
+				break outer
+			}
+			s += v
+		}
+	}
+	return s
+}`)
+	// Find the outer range head (successor of the label block) and the
+	// outer done block; the labeled continue/break must reach them.
+	var label *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "label.outer" {
+			label = blk
+		}
+	}
+	if label == nil || len(label.Succs) != 1 {
+		t.Fatalf("label.outer block missing or malformed")
+	}
+	outerHead := label.Succs[0]
+	var outerDone *Block
+	for _, s := range outerHead.Succs {
+		if s.Kind == "range.done" {
+			outerDone = s
+		}
+	}
+	if outerDone == nil {
+		t.Fatalf("outer range.done not found")
+	}
+	// continue outer lands on outerHead from an if.then deep inside;
+	// break outer lands on outerDone likewise.
+	foundCont, foundBrk := false, false
+	for _, p := range outerHead.Preds {
+		if p.Kind == "if.then" {
+			foundCont = true
+		}
+	}
+	for _, p := range outerDone.Preds {
+		if p.Kind == "if.then" {
+			foundBrk = true
+		}
+	}
+	if !foundCont || !foundBrk {
+		t.Errorf("labeled continue/break edges missing: cont=%v brk=%v", foundCont, foundBrk)
+	}
+}
+
+// TestUnreachableAfterReturn: code after a terminator lands in a fresh
+// block with no predecessors, keeping solver facts at their initial
+// value there.
+func TestUnreachableAfterReturn(t *testing.T) {
+	g, _ := build(t, `
+func f() int {
+	return 1
+	x := 2
+	return x
+}`)
+	reach := g.Reachable()
+	dead := 0
+	for _, blk := range g.Blocks {
+		if !reach[blk] && len(blk.Nodes) > 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Fatalf("expected an unreachable block holding dead code")
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g, _ := build(t, `
+func f(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	default:
+		return 0
+	}
+}`)
+	// Head holds the assign; three case bodies; no head->done edge
+	// because there is a default.
+	if n := len(g.Entry.Succs); n != 3 {
+		t.Fatalf("entry successors = %d, want 3 case bodies", n)
+	}
+	for _, s := range g.Entry.Succs {
+		if s.Kind == "switch.done" {
+			t.Errorf("unexpected head->done edge with a default clause present")
+		}
+	}
+}

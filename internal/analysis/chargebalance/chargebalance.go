@@ -12,13 +12,23 @@
 //   - the charged owner escaping through a return value (the caller
 //     now holds the balance — the msg.New pattern).
 //
-// Two rules are enforced:
+// Since v2 the analysis is path-sensitive: it builds each function's
+// control-flow graph (internal/analysis/cfg) and solves a forward
+// may-outstanding problem plus a backward may-discharge problem over it
+// (internal/analysis/dataflow, via the shared event model in
+// internal/analysis/charges). Two rules are enforced:
 //
-//  1. An error-return reached after a charge with none of the above on
-//     that path is flagged: this is exactly the churn bug ("early
-//     return added, refund forgotten") that re-opens accounting gaps.
-//  2. A charge in a function with no balancing mechanism anywhere is
-//     flagged: the charge can never be returned.
+//  1. An error return reachable with a charge still outstanding on some
+//     path — and no deferred refund registered on every path to it — is
+//     flagged: this is exactly the churn bug ("early return added,
+//     refund forgotten") that re-opens accounting gaps. The CFG makes
+//     this exact across goto, labeled break/continue, switch
+//     fallthrough, and loops, where the v1 structured walk
+//     approximated.
+//  2. A charge from whose site no CFG path reaches any discharge
+//     (refund, release, track, releasing call, or escape through a
+//     return) — and that no defer or closure in the function covers —
+//     can never be returned, and is flagged at the charge site.
 //
 // A charge that is intentionally held by a containing object and
 // refunded elsewhere is annotated at the charge site:
@@ -40,58 +50,32 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/charges"
 )
 
-// CorePath is the package defining Owner and Tracked. AllocScope lists
-// import-path prefixes where raw allocation of Tracked types is
-// flagged. Tests override both to point at fixtures.
-var (
-	CorePath   = "repro/internal/core"
-	AllocScope = []string{"repro/internal/kernel", "repro/internal/mem", "repro/internal/iobuf"}
-)
+// AllocScope lists import-path prefixes where raw allocation of Tracked
+// types is flagged. Tests override it to point at fixtures. CorePath
+// (the package defining Owner and Tracked) lives in the shared charges
+// package.
+var AllocScope = []string{"repro/internal/kernel", "repro/internal/mem", "repro/internal/iobuf"}
 
 // Analyzer is the chargebalance analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "chargebalance",
-	Doc: "every Charge* on a core.Owner must be balanced by Refund*/" +
-		"ReleaseAll/Track, a releasing call, or escape of the charged owner; " +
-		"tracked kernel objects must not be allocated raw",
+	Doc: "every Charge* on a core.Owner must be balanced on every CFG path by " +
+		"Refund*/ReleaseAll/Track, a releasing call, or escape of the charged " +
+		"owner; tracked kernel objects must not be allocated raw",
 	Run: run,
 }
 
-// kinds maps Charge/Refund method names to resource kinds.
-var chargeKind = map[string]string{
-	"ChargeKmem": "Kmem", "ChargePages": "Pages", "ChargeStacks": "Stacks",
-	"ChargeEvent": "Event", "ChargeSemaphore": "Semaphore",
-}
-var refundKind = map[string]string{
-	"RefundKmem": "Kmem", "RefundPages": "Pages", "RefundStacks": "Stacks",
-	"RefundEvent": "Event", "RefundSemaphore": "Semaphore",
-}
-
-// knownReleasers release everything an owner holds regardless of which
-// package defines them.
-var knownReleasers = map[string]bool{
-	"ReleaseAll": true, "DestroyOwner": true, "ReleaseFor": true,
-}
-
 func run(pass *analysis.Pass) error {
-	c := &checker{
-		pass:      pass,
-		releasers: map[types.Object]bool{},
-		comments:  map[*ast.File]analysis.LineComments{},
-	}
-	for _, f := range pass.Files {
-		c.comments[f] = analysis.CollectLineComments(pass.Fset, f)
-	}
-	c.findReleasers()
+	c := &checker{pass: pass, sc: charges.NewScanner(pass)}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
 				continue
 			}
-			c.file = f
 			c.checkFunc(fd)
 			c.checkRawAllocs(fd)
 		}
@@ -100,572 +84,74 @@ func run(pass *analysis.Pass) error {
 }
 
 type checker struct {
-	pass      *analysis.Pass
-	releasers map[types.Object]bool // same-package funcs whose body refunds/releases
-	comments  map[*ast.File]analysis.LineComments
-	file      *ast.File
+	pass *analysis.Pass
+	sc   *charges.Scanner
 }
 
-// held reports whether pos carries an //escort:held annotation.
-func (c *checker) held(pos token.Pos) bool {
-	lc := c.comments[c.file]
-	return lc != nil && lc.HasAnnotation(c.pass.Fset.Position(pos).Line, "held", "")
-}
-
-// findReleasers records package functions whose bodies refund, release,
-// or destroy — calling one of them (with the charged owner in reach)
-// discharges outstanding balances.
-func (c *checker) findReleasers() {
-	for _, f := range c.pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			releases := false
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				name := sel.Sel.Name
-				if refundKind[name] != "" || knownReleasers[name] || name == "MarkDead" {
-					releases = true
-				}
-				return true
-			})
-			if releases {
-				if obj := c.pass.TypesInfo.Defs[fd.Name]; obj != nil {
-					c.releasers[obj] = true
-				}
-			}
-		}
-	}
-}
-
-// ---- events ----
-
-type evKind int
-
-const (
-	evCharge evKind = iota
-	evRefund
-	evReleaseAll  // ReleaseAll / deferred total release
-	evTrack       // owner.Track: ownership recorded
-	evReleaseCall // call into a releasing function
-	evReturn      // not emitted; returns handled in the walk
-)
-
-type event struct {
-	kind  evKind
-	res   string       // resource kind for charge/refund
-	base  types.Object // root object of the charged owner / call target
-	bases map[types.Object]bool
-	pos   token.Pos
-	held  bool
-}
-
-// scanExpr collects charge/refund/track/release events from an
-// expression in evaluation order. Function literals are opaque here
-// (their bodies run at some other time); checkFunc handles them for the
-// whole-function mechanism scan.
-func (c *checker) scanExpr(e ast.Expr, out *[]event) {
-	if e == nil {
+// checkFunc builds the function's CFG, solves the charge dataflow, and
+// applies both rules.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	fr := charges.Analyze(c.sc, fd)
+	if len(fr.Charges) == 0 {
 		return
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if ev, ok := c.callEvent(call); ok {
-			*out = append(*out, ev)
-		}
-		return true
-	})
-}
-
-// callEvent classifies a call expression.
-func (c *checker) callEvent(call *ast.CallExpr) (event, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		// Plain function call: a same-package releasing helper invoked
-		// as abort(o) rather than mgr.abort(o).
-		if id, ok := call.Fun.(*ast.Ident); ok {
-			fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
-			if fn != nil && (knownReleasers[fn.Name()] || c.releasers[fn]) {
-				bases := map[types.Object]bool{}
-				for _, a := range call.Args {
-					if o := c.rootObj(a); o != nil {
-						bases[o] = true
-					}
-				}
-				return event{kind: evReleaseCall, bases: bases}, true
-			}
-		}
-		return event{}, false
-	}
-	name := sel.Sel.Name
-	if k := chargeKind[name]; k != "" && c.isOwnerMethod(sel) {
-		return event{kind: evCharge, res: k, base: c.rootObj(sel.X), pos: call.Pos(), held: c.held(call.Pos())}, true
-	}
-	if k := refundKind[name]; k != "" && c.isOwnerMethod(sel) {
-		return event{kind: evRefund, res: k}, true
-	}
-	if name == "ReleaseAll" && c.isOwnerMethod(sel) {
-		return event{kind: evReleaseAll}, true
-	}
-	if name == "Track" && c.isOwnerMethod(sel) {
-		return event{kind: evTrack, base: c.rootObj(sel.X)}, true
-	}
-	// Releasing calls: known releasers anywhere, or same-package
-	// functions whose body releases.
-	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	isReleaser := fn != nil && knownReleasers[fn.Name()]
-	if !isReleaser && fn != nil && c.releasers[fn] {
-		isReleaser = true
-	}
-	if isReleaser {
-		bases := map[types.Object]bool{}
-		if o := c.rootObj(sel.X); o != nil {
-			bases[o] = true
-		}
-		for _, a := range call.Args {
-			if o := c.rootObj(a); o != nil {
-				bases[o] = true
-			}
-		}
-		return event{kind: evReleaseCall, bases: bases}, true
-	}
-	return event{}, false
-}
-
-// isOwnerMethod reports whether sel selects a method whose receiver is
-// core.Owner (possibly embedded, as in Path and Domain).
-func (c *checker) isOwnerMethod(sel *ast.SelectorExpr) bool {
-	selection, ok := c.pass.TypesInfo.Selections[sel]
-	if !ok || selection.Kind() != types.MethodVal {
-		return false
-	}
-	fn, ok := selection.Obj().(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != CorePath {
-		return false
-	}
-	sig := fn.Type().(*types.Signature)
-	recv := sig.Recv().Type()
-	if p, ok := recv.(*types.Pointer); ok {
-		recv = p.Elem()
-	}
-	named, ok := recv.(*types.Named)
-	return ok && named.Obj().Name() == "Owner"
-}
-
-// rootObj returns the object of the base identifier of an owner
-// expression: p for p.Owner, owner for owner, pb for pb.PathOwner().
-func (c *checker) rootObj(e ast.Expr) types.Object {
-	for {
-		switch x := e.(type) {
-		case *ast.Ident:
-			return c.pass.TypesInfo.ObjectOf(x)
-		case *ast.SelectorExpr:
-			e = x.X
-		case *ast.CallExpr:
-			e = x.Fun
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.UnaryExpr:
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		default:
-			return nil
-		}
-	}
-}
-
-// ---- per-function analysis ----
-
-type state struct {
-	charges    []event // outstanding, in charge order
-	deferred   map[string]bool
-	deferAll   bool
-	terminated bool
-}
-
-func (s state) clone() state {
-	n := state{deferred: map[string]bool{}, deferAll: s.deferAll, terminated: s.terminated}
-	n.charges = append(n.charges, s.charges...)
-	for k := range s.deferred {
-		n.deferred[k] = true
-	}
-	return n
-}
-
-// merge unions outstanding charges of non-terminated branches.
-func merge(a, b state) state {
-	if a.terminated {
-		b2 := b.clone()
-		return b2
-	}
-	if b.terminated {
-		return a.clone()
-	}
-	out := a.clone()
-	seen := map[token.Pos]bool{}
-	for _, ch := range out.charges {
-		seen[ch.pos] = true
-	}
-	for _, ch := range b.charges {
-		if !seen[ch.pos] {
-			out.charges = append(out.charges, ch)
-		}
-	}
-	for k := range b.deferred {
-		out.deferred[k] = true
-	}
-	out.deferAll = out.deferAll || b.deferAll
-	return out
-}
-
-type funcCheck struct {
-	c       *checker
-	fd      *ast.FuncDecl
-	retErr  bool // function's last result is error
-	flagged map[token.Pos]bool
-}
-
-func (c *checker) checkFunc(fd *ast.FuncDecl) {
-	fc := &funcCheck{c: c, fd: fd, flagged: map[token.Pos]bool{}}
+	retErr := false
 	if res := fd.Type.Results; res != nil && len(res.List) > 0 {
 		last := res.List[len(res.List)-1]
 		if tv, ok := c.pass.TypesInfo.Types[last.Type]; ok && tv.Type != nil &&
 			tv.Type.String() == "error" {
-			fc.retErr = true
+			retErr = true
 		}
 	}
-	s := state{deferred: map[string]bool{}}
-	end := fc.walkStmts(fd.Body.List, s)
-	// Implicit return at the end of the function body: a success exit;
-	// rule 2 below covers charges that can never be discharged.
-	_ = end
-	fc.ruleNeverDischarged()
-}
 
-// apply folds events into the state.
-func (fc *funcCheck) apply(s state, evs []event) state {
-	for _, ev := range evs {
-		switch ev.kind {
-		case evCharge:
-			if !ev.held {
-				s.charges = append(s.charges, ev)
+	// Rule 1: error returns with a may-outstanding charge. One report
+	// per return keeps the signal readable — fixing the first leak
+	// usually fixes the path.
+	if retErr {
+		flagged := map[token.Pos]bool{}
+		for _, rf := range fr.Returns() {
+			if len(rf.Ret.Results) == 0 {
+				continue
 			}
-		case evRefund:
-			var keep []event
-			for _, ch := range s.charges {
-				if ch.res != ev.res {
-					keep = append(keep, ch)
+			last := rf.Ret.Results[len(rf.Ret.Results)-1]
+			if tv, ok := c.pass.TypesInfo.Types[last]; ok && tv.IsNil() {
+				continue // success return: the caller holds the balance
+			}
+			for _, i := range rf.Outstanding {
+				ch := fr.Charges[i]
+				if ch.Held {
+					continue
 				}
-			}
-			s.charges = keep
-		case evReleaseAll:
-			s.charges = nil
-		case evTrack:
-			var keep []event
-			for _, ch := range s.charges {
-				if ev.base != nil && ch.base != nil && ch.base != ev.base {
-					keep = append(keep, ch)
+				if rf.DeferAll || rf.DeferredRes[ch.Res] {
+					continue
 				}
-			}
-			s.charges = keep
-		case evReleaseCall:
-			var keep []event
-			for _, ch := range s.charges {
-				if ch.base != nil && len(ev.bases) > 0 && !ev.bases[ch.base] {
-					keep = append(keep, ch)
+				if ch.Base != nil && charges.Escapes(c.pass, ch.Base, rf.Ret) {
+					continue
 				}
-			}
-			s.charges = keep
-		}
-	}
-	return s
-}
-
-func (fc *funcCheck) scan(e ast.Expr) []event {
-	var evs []event
-	fc.c.scanExpr(e, &evs)
-	return evs
-}
-
-// walkStmts runs the approximate CFG walk over a statement list.
-func (fc *funcCheck) walkStmts(stmts []ast.Stmt, s state) state {
-	for _, st := range stmts {
-		if s.terminated {
-			return s
-		}
-		s = fc.walkStmt(st, s)
-	}
-	return s
-}
-
-func (fc *funcCheck) walkStmt(st ast.Stmt, s state) state {
-	switch st := st.(type) {
-	case *ast.ExprStmt:
-		if call, ok := st.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				s.terminated = true
-				return s
-			}
-		}
-		return fc.apply(s, fc.scan(st.X))
-	case *ast.AssignStmt:
-		var evs []event
-		for _, e := range st.Rhs {
-			fc.c.scanExpr(e, &evs)
-		}
-		for _, e := range st.Lhs {
-			fc.c.scanExpr(e, &evs)
-		}
-		return fc.apply(s, evs)
-	case *ast.DeclStmt:
-		var evs []event
-		ast.Inspect(st, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
-				fc.c.scanExpr(e, &evs)
-				return false
-			}
-			return true
-		})
-		return fc.apply(s, evs)
-	case *ast.DeferStmt:
-		for _, ev := range fc.scan(st.Call) {
-			switch ev.kind {
-			case evRefund:
-				s.deferred[ev.res] = true
-			case evReleaseAll, evReleaseCall, evTrack:
-				s.deferAll = true
-			}
-		}
-		// A deferred closure's refunds count too.
-		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			var evs []event
-			ast.Inspect(fl.Body, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok {
-					if ev, ok2 := fc.c.callEvent(call); ok2 {
-						evs = append(evs, ev)
-					}
+				if flagged[rf.Ret.Pos()] {
+					continue
 				}
-				return true
-			})
-			for _, ev := range evs {
-				switch ev.kind {
-				case evRefund:
-					s.deferred[ev.res] = true
-				case evReleaseAll, evReleaseCall:
-					s.deferAll = true
-				}
+				flagged[rf.Ret.Pos()] = true
+				chPos := c.pass.Fset.Position(ch.Pos)
+				c.pass.Reportf(rf.Ret.Pos(),
+					"error return leaks Charge%s from line %d: refund, ReleaseAll, or release the owner before returning (or annotate the charge //escort:held)",
+					ch.Res, chPos.Line)
 			}
 		}
-		return s
-	case *ast.ReturnStmt:
-		var evs []event
-		for _, e := range st.Results {
-			fc.c.scanExpr(e, &evs)
-		}
-		s = fc.apply(s, evs)
-		fc.checkReturn(st, s)
-		s.terminated = true
-		return s
-	case *ast.IfStmt:
-		if st.Init != nil {
-			s = fc.walkStmt(st.Init, s)
-		}
-		s = fc.apply(s, fc.scan(st.Cond))
-		then := fc.walkStmts(st.Body.List, s.clone())
-		els := s.clone()
-		if st.Else != nil {
-			els = fc.walkStmt(st.Else, els)
-		}
-		return merge(then, els)
-	case *ast.BlockStmt:
-		return fc.walkStmts(st.List, s)
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			s = fc.walkStmt(st.Init, s)
-		}
-		s = fc.apply(s, fc.scan(st.Tag))
-		return fc.walkCases(st.Body, s)
-	case *ast.TypeSwitchStmt:
-		if st.Init != nil {
-			s = fc.walkStmt(st.Init, s)
-		}
-		return fc.walkCases(st.Body, s)
-	case *ast.SelectStmt:
-		return fc.walkCases(st.Body, s)
-	case *ast.ForStmt:
-		if st.Init != nil {
-			s = fc.walkStmt(st.Init, s)
-		}
-		s = fc.apply(s, fc.scan(st.Cond))
-		body := fc.walkStmts(st.Body.List, s.clone())
-		return merge(s, body)
-	case *ast.RangeStmt:
-		s = fc.apply(s, fc.scan(st.X))
-		body := fc.walkStmts(st.Body.List, s.clone())
-		return merge(s, body)
-	case *ast.LabeledStmt:
-		return fc.walkStmt(st.Stmt, s)
-	case *ast.GoStmt:
-		// The goroutine body runs later; opaque for path analysis.
-		return s
-	case *ast.SendStmt:
-		var evs []event
-		fc.c.scanExpr(st.Chan, &evs)
-		fc.c.scanExpr(st.Value, &evs)
-		return fc.apply(s, evs)
-	case *ast.BranchStmt:
-		// break/continue/goto: end this path conservatively.
-		s.terminated = true
-		return s
-	default:
-		return s
 	}
-}
 
-// walkCases merges all case bodies of a switch/select, plus the
-// fall-past-every-case path.
-func (fc *funcCheck) walkCases(body *ast.BlockStmt, s state) state {
-	out := s.clone()
-	for _, cl := range body.List {
-		var stmts []ast.Stmt
-		switch cl := cl.(type) {
-		case *ast.CaseClause:
-			for _, e := range cl.List {
-				s = fc.apply(s, fc.scan(e))
-			}
-			stmts = cl.Body
-		case *ast.CommClause:
-			stmts = cl.Body
-		}
-		out = merge(out, fc.walkStmts(stmts, s.clone()))
-	}
-	return out
-}
-
-// checkReturn enforces rule 1: an error return must not leave charges
-// outstanding (unless deferred refunds or owner escape cover them).
-func (fc *funcCheck) checkReturn(ret *ast.ReturnStmt, s state) {
-	if !fc.retErr || len(ret.Results) == 0 {
-		return
-	}
-	last := ret.Results[len(ret.Results)-1]
-	if tv, ok := fc.c.pass.TypesInfo.Types[last]; ok && tv.IsNil() {
-		return // success return: the caller holds the balance
-	}
-	for _, ch := range s.charges {
-		if s.deferAll || s.deferred[ch.res] {
+	// Rule 2: no CFG path from the charge site reaches a discharge, and
+	// no defer or closure covers it either.
+	for i, ch := range fr.Charges {
+		if ch.Held {
 			continue
 		}
-		if ch.base != nil && escapes(fc.c.pass, ch.base, ret) {
+		if fr.MayDischargeAt(i) || fr.AnyDeferDischarges(ch) || fr.AnyClosureDischarges(ch) {
 			continue
 		}
-		if fc.flagged[ret.Pos()] {
-			continue
-		}
-		fc.flagged[ret.Pos()] = true
-		chPos := fc.c.pass.Fset.Position(ch.pos)
-		fc.c.pass.Reportf(ret.Pos(),
-			"error return leaks Charge%s from line %d: refund, ReleaseAll, or release the owner before returning (or annotate the charge //escort:held)",
-			ch.res, chPos.Line)
-	}
-}
-
-// escapes reports whether the charged owner's base object appears in
-// the return results.
-func escapes(pass *analysis.Pass, base types.Object, ret *ast.ReturnStmt) bool {
-	found := false
-	for _, e := range ret.Results {
-		ast.Inspect(e, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == base {
-				found = true
-			}
-			return true
-		})
-	}
-	return found
-}
-
-// ruleNeverDischarged enforces rule 2: a charge in a function with no
-// balancing mechanism at all (counting closures and every path).
-func (fc *funcCheck) ruleNeverDischarged() {
-	type chargeSite struct {
-		res  string
-		base types.Object
-		pos  token.Pos
-	}
-	var charges []chargeSite
-	mech := map[string]bool{} // per-res mechanisms
-	var trackBases, releaseBases []map[types.Object]bool
-	anyTrack, anyReleaseAll := false, false
-	var returns []*ast.ReturnStmt
-	ast.Inspect(fc.fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.ReturnStmt:
-			returns = append(returns, n)
-		case *ast.CallExpr:
-			if ev, ok := fc.c.callEvent(n); ok {
-				switch ev.kind {
-				case evCharge:
-					if !ev.held {
-						charges = append(charges, chargeSite{ev.res, ev.base, ev.pos})
-					}
-				case evRefund:
-					mech[ev.res] = true
-				case evReleaseAll:
-					anyReleaseAll = true
-				case evTrack:
-					anyTrack = true
-					trackBases = append(trackBases, map[types.Object]bool{ev.base: true})
-				case evReleaseCall:
-					releaseBases = append(releaseBases, ev.bases)
-				}
-			}
-		}
-		return true
-	})
-	_ = anyTrack
-	for _, ch := range charges {
-		if mech[ch.res] || anyReleaseAll {
-			continue
-		}
-		ok := false
-		for _, tb := range trackBases {
-			if ch.base == nil || tb[ch.base] || tb[nil] {
-				ok = true
-			}
-		}
-		for _, rb := range releaseBases {
-			if ch.base == nil || len(rb) == 0 || rb[ch.base] {
-				ok = true
-			}
-		}
-		if !ok && ch.base != nil {
-			for _, ret := range returns {
-				if escapes(fc.c.pass, ch.base, ret) {
-					ok = true
-					break
-				}
-			}
-		}
-		if !ok {
-			fc.c.pass.Reportf(ch.pos,
-				"Charge%s is never balanced in this function: no Refund%s, ReleaseAll, Track, releasing call, or escape of the charged owner — refund it or annotate the held charge with //escort:held <where it is refunded>",
-				ch.res, ch.res)
-		}
+		c.pass.Reportf(ch.Pos,
+			"Charge%s is never balanced in this function: no Refund%s, ReleaseAll, Track, releasing call, or escape of the charged owner — refund it or annotate the held charge with //escort:held <where it is refunded>",
+			ch.Res, ch.Res)
 	}
 }
 
@@ -689,7 +175,7 @@ func (c *checker) checkRawAllocs(fd *ast.FuncDecl) {
 	}
 	tracks := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Track" && c.isOwnerMethod(sel) {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Track" && c.sc.IsOwnerMethod(sel) {
 			tracks = true
 		}
 		return true
@@ -721,9 +207,7 @@ func (c *checker) checkRawAllocs(fd *ast.FuncDecl) {
 			return true
 		}
 		if types.Implements(types.NewPointer(t), tracked) {
-			lc := c.comments[c.file]
-			line := c.pass.Fset.Position(pos).Line
-			if lc != nil && lc.HasAnnotation(line, "held", "") {
+			if c.sc.Held(pos) {
 				return true
 			}
 			c.pass.Reportf(pos,
@@ -737,7 +221,7 @@ func (c *checker) checkRawAllocs(fd *ast.FuncDecl) {
 // trackedInterface finds core.Tracked among the package's imports.
 func (c *checker) trackedInterface() *types.Interface {
 	for _, imp := range c.pass.Pkg.Imports() {
-		if imp.Path() != CorePath {
+		if imp.Path() != charges.CorePath {
 			continue
 		}
 		obj := imp.Scope().Lookup("Tracked")

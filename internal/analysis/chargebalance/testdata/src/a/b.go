@@ -1,0 +1,115 @@
+// Path-sensitive fixtures: cases the v1 structured walk approximated
+// and the CFG-based engine decides exactly. This file also exercises
+// multi-file fixture packages — the helpers it shares with a.go live
+// there.
+package a
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// conditionalLeak refunds on only one branch; the error return is
+// reachable with the charge still outstanding on the other.
+func conditionalLeak(o *core.Owner, fail, cleanup bool) error {
+	o.ChargeKmem(8)
+	if cleanup {
+		o.RefundKmem(8)
+	}
+	if fail {
+		return errors.New("boom") // want `error return leaks ChargeKmem from line \d+`
+	}
+	o.RefundKmem(8)
+	return nil
+}
+
+// gotoLeak jumps over the refund; only a real CFG sees the leak.
+func gotoLeak(o *core.Owner, n int) error {
+	o.ChargeEvent()
+	if n > 0 {
+		goto fail
+	}
+	o.RefundEvent()
+	return nil
+fail:
+	return errors.New("boom") // want `error return leaks ChargeEvent`
+}
+
+// loopBreakLeak: the break path carries an unrefunded charge out of the
+// loop to the return. v1 terminated branch paths at break and missed
+// this.
+func loopBreakLeak(o *core.Owner, xs []int) error {
+	for _, x := range xs {
+		o.ChargeKmem(uint64(x))
+		if x < 0 {
+			break
+		}
+		o.RefundKmem(uint64(x))
+	}
+	return errors.New("done") // want `error return leaks ChargeKmem`
+}
+
+// loopContinueClean refunds before every continue and at the bottom of
+// the loop: every path is balanced, so the unconditional error return
+// is clean.
+func loopContinueClean(o *core.Owner, xs []int) error {
+	for _, x := range xs {
+		o.ChargeKmem(1)
+		if x == 0 {
+			o.RefundKmem(1)
+			continue
+		}
+		o.RefundKmem(1)
+	}
+	return errors.New("always")
+}
+
+// selectLeak: the default clause returns the would-block error without
+// refunding; the comm clause path is balanced.
+func selectLeak(o *core.Owner, ch chan int) error {
+	o.ChargeSemaphore()
+	select {
+	case <-ch:
+		o.RefundSemaphore()
+	default:
+		return errors.New("would block") // want `error return leaks ChargeSemaphore`
+	}
+	return nil
+}
+
+// switchBalanced refunds in every case including default; the early
+// error return inside case 1 is balanced.
+func switchBalanced(o *core.Owner, n int) error {
+	o.ChargeKmem(4)
+	switch n {
+	case 0:
+		o.RefundKmem(4)
+	case 1:
+		o.RefundKmem(4)
+		return errors.New("one")
+	default:
+		o.RefundKmem(4)
+	}
+	return nil
+}
+
+// refundBeforeCharge: the only refund precedes the charge, so no path
+// FROM the charge site ever discharges it. The flow-insensitive v1
+// mechanism scan accepted this.
+func refundBeforeCharge(o *core.Owner) {
+	o.RefundKmem(8)
+	o.ChargeKmem(8) // want `ChargeKmem is never balanced`
+}
+
+// deferThenCharge registers the refund before charging; deferred
+// discharges run at exit regardless of registration order, so this is
+// clean under both rules.
+func deferThenCharge(o *core.Owner, fail bool) error {
+	defer o.RefundKmem(8)
+	o.ChargeKmem(8)
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}

@@ -1,0 +1,578 @@
+// Package charges is the shared model of Escort's accounting events
+// for the analysis suite: it classifies Charge*/Refund*/ReleaseAll/
+// Track calls on core.Owner (and calls into releasing helpers), builds
+// the per-function control-flow graph, and solves the two dataflow
+// problems every accounting analyzer needs:
+//
+//   - forward may-outstanding: which charge sites may still be
+//     unbalanced at each program point (plus which deferred discharges
+//     are guaranteed registered), and
+//   - backward may-discharge: from a given charge site, does any path
+//     reach a matching refund, release, track, or escape.
+//
+// chargebalance consumes both to enforce the paper's Table 1 invariant
+// path-sensitively; faultsafe replays the forward facts at
+// fault-injected error returns, where even //escort:held charges must
+// be discharged (a failed construction never reaches its teardown).
+package charges
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// CorePath is the package defining Owner and Tracked.
+var CorePath = "repro/internal/core"
+
+// Op classifies an accounting event.
+type Op int
+
+const (
+	Charge Op = iota
+	Refund
+	ReleaseAll  // ReleaseAll: everything the owner holds is returned
+	Track       // owner.Track: ownership recorded, teardown refunds
+	ReleaseCall // call into a function whose body refunds/releases
+)
+
+// ChargeKind and RefundKind map core.Owner method names to resource
+// kinds.
+var ChargeKind = map[string]string{
+	"ChargeKmem": "Kmem", "ChargePages": "Pages", "ChargeStacks": "Stacks",
+	"ChargeEvent": "Event", "ChargeSemaphore": "Semaphore",
+}
+var RefundKind = map[string]string{
+	"RefundKmem": "Kmem", "RefundPages": "Pages", "RefundStacks": "Stacks",
+	"RefundEvent": "Event", "RefundSemaphore": "Semaphore",
+}
+
+// KnownReleasers release everything an owner holds regardless of which
+// package defines them.
+var KnownReleasers = map[string]bool{
+	"ReleaseAll": true, "DestroyOwner": true, "ReleaseFor": true,
+}
+
+// Event is one classified accounting event.
+type Event struct {
+	Op  Op
+	Res string // resource kind for Charge/Refund
+	// Base is the root object of the charged owner expression (Charge,
+	// Track); Bases are the owner-ish objects in reach of a releasing
+	// call.
+	Base  types.Object
+	Bases map[types.Object]bool
+	Pos   token.Pos
+	Held  bool // Charge only: //escort:held at the charge site
+}
+
+// Scanner classifies calls for one package pass.
+type Scanner struct {
+	Pass      *analysis.Pass
+	releasers map[types.Object]bool
+	comments  map[string]analysis.LineComments // by filename
+}
+
+// NewScanner indexes the pass's comments and same-package releasing
+// functions.
+func NewScanner(pass *analysis.Pass) *Scanner {
+	s := &Scanner{
+		Pass:      pass,
+		releasers: map[types.Object]bool{},
+		comments:  map[string]analysis.LineComments{},
+	}
+	for i, f := range pass.Files {
+		s.comments[pass.FileNames[i]] = analysis.CollectLineComments(pass.Fset, f)
+	}
+	s.findReleasers()
+	return s
+}
+
+// Held reports whether pos carries an //escort:held annotation (same
+// line or the line above).
+func (s *Scanner) Held(pos token.Pos) bool {
+	p := s.Pass.Fset.Position(pos)
+	lc := s.comments[p.Filename]
+	return lc != nil && lc.HasAnnotation(p.Line, "held", "")
+}
+
+// findReleasers records package functions whose bodies refund, release,
+// or destroy — calling one of them (with the charged owner in reach)
+// discharges outstanding balances.
+func (s *Scanner) findReleasers() {
+	for _, f := range s.Pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			releases := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				if RefundKind[name] != "" || KnownReleasers[name] || name == "MarkDead" {
+					releases = true
+				}
+				return true
+			})
+			if releases {
+				if obj := s.Pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					s.releasers[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// ScanNode collects accounting events from a statement or expression in
+// evaluation order. Function literals are opaque (their bodies run at
+// some other time).
+func (s *Scanner) ScanNode(n ast.Node, out *[]Event) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ev, ok := s.CallEvent(call); ok {
+			*out = append(*out, ev)
+		}
+		return true
+	})
+}
+
+// CallEvent classifies a call expression.
+func (s *Scanner) CallEvent(call *ast.CallExpr) (Event, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// Plain function call: a same-package releasing helper invoked
+		// as abort(o) rather than mgr.abort(o).
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			fn, _ := s.Pass.TypesInfo.Uses[id].(*types.Func)
+			if fn != nil && (KnownReleasers[fn.Name()] || s.releasers[fn]) {
+				bases := map[types.Object]bool{}
+				for _, a := range call.Args {
+					if o := s.RootObj(a); o != nil {
+						bases[o] = true
+					}
+				}
+				return Event{Op: ReleaseCall, Bases: bases, Pos: call.Pos()}, true
+			}
+		}
+		return Event{}, false
+	}
+	name := sel.Sel.Name
+	if k := ChargeKind[name]; k != "" && s.IsOwnerMethod(sel) {
+		return Event{Op: Charge, Res: k, Base: s.RootObj(sel.X), Pos: call.Pos(), Held: s.Held(call.Pos())}, true
+	}
+	if k := RefundKind[name]; k != "" && s.IsOwnerMethod(sel) {
+		return Event{Op: Refund, Res: k, Pos: call.Pos()}, true
+	}
+	if name == "ReleaseAll" && s.IsOwnerMethod(sel) {
+		return Event{Op: ReleaseAll, Pos: call.Pos()}, true
+	}
+	if name == "Track" && s.IsOwnerMethod(sel) {
+		return Event{Op: Track, Base: s.RootObj(sel.X), Pos: call.Pos()}, true
+	}
+	// Releasing calls: known releasers anywhere, or same-package
+	// functions whose body releases.
+	fn, _ := s.Pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	isReleaser := fn != nil && KnownReleasers[fn.Name()]
+	if !isReleaser && fn != nil && s.releasers[fn] {
+		isReleaser = true
+	}
+	if isReleaser {
+		bases := map[types.Object]bool{}
+		if o := s.RootObj(sel.X); o != nil {
+			bases[o] = true
+		}
+		for _, a := range call.Args {
+			if o := s.RootObj(a); o != nil {
+				bases[o] = true
+			}
+		}
+		return Event{Op: ReleaseCall, Bases: bases, Pos: call.Pos()}, true
+	}
+	return Event{}, false
+}
+
+// IsOwnerMethod reports whether sel selects a method whose receiver is
+// core.Owner (possibly embedded, as in Path and Domain).
+func (s *Scanner) IsOwnerMethod(sel *ast.SelectorExpr) bool {
+	selection, ok := s.Pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != CorePath {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Owner"
+}
+
+// RootObj returns the object of the base identifier of an owner
+// expression: p for p.Owner, owner for owner, pb for pb.PathOwner().
+func (s *Scanner) RootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return s.Pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Discharges reports whether event ev discharges the charge ch:
+// matching refund kind, a total release, tracking of the same base, or
+// a releasing call with the charged owner in reach. The base-matching
+// rules mirror the flow-insensitive v1 analyzer so annotated code keeps
+// its meaning.
+func Discharges(ev Event, ch Event) bool {
+	switch ev.Op {
+	case Refund:
+		return ev.Res == ch.Res
+	case ReleaseAll:
+		return true
+	case Track:
+		return ev.Base == nil || ch.Base == nil || ch.Base == ev.Base
+	case ReleaseCall:
+		return ch.Base == nil || len(ev.Bases) == 0 || ev.Bases[ch.Base]
+	}
+	return false
+}
+
+// Escapes reports whether the charged owner's base object appears in
+// the return results: the caller then holds the balance.
+func Escapes(pass *analysis.Pass, base types.Object, ret *ast.ReturnStmt) bool {
+	if base == nil {
+		return false
+	}
+	found := false
+	for _, e := range ret.Results {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == base {
+				found = true
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// ---- per-function dataflow ----
+
+// deferAllKey indexes the "total release deferred" capability; per-
+// resource deferred refunds follow at deferAllKey+1+i over resKinds.
+const deferAllKey = 0
+
+var resKinds = []string{"Kmem", "Pages", "Stacks", "Event", "Semaphore"}
+
+func deferKey(res string) int {
+	for i, r := range resKinds {
+		if r == res {
+			return deferAllKey + 1 + i
+		}
+	}
+	return deferAllKey // unknown kinds fold into "all" (cannot happen)
+}
+
+// flowFact pairs the may-outstanding charge set with the must-
+// registered deferred-discharge set.
+type flowFact struct {
+	charges dataflow.Set // may: indices into FlowResult.Charges
+	defers  dataflow.Set // must: deferAllKey + per-res keys
+}
+
+// FlowResult carries one function's graph and solved facts.
+type FlowResult struct {
+	Scanner *Scanner
+	Decl    *ast.FuncDecl
+	Graph   *cfg.Graph
+	// Charges is the universe of charge events in the body (closures
+	// excluded), in source order.
+	Charges []Event
+	// ClosureEvents are discharge-capable events found inside function
+	// literals anywhere in the body: a closure that refunds or releases
+	// may run later and discharge a held balance (the v1 analyzer
+	// counted these, so v2 must not regress annotated code).
+	ClosureEvents []Event
+
+	forward dataflow.Result[flowFact]
+	reach   map[*cfg.Block]bool
+}
+
+// ReturnFact is the state at one reachable return statement, after the
+// return's own result expressions have been evaluated.
+type ReturnFact struct {
+	Ret   *ast.ReturnStmt
+	Block *cfg.Block
+	// Outstanding lists indices into FlowResult.Charges that may be
+	// unbalanced on some path reaching this return.
+	Outstanding []int
+	// DeferAll is true when a deferred total release (ReleaseAll,
+	// releasing call, or Track) is registered on every path here.
+	DeferAll bool
+	// DeferredRes holds resource kinds with a deferred refund
+	// registered on every path here.
+	DeferredRes map[string]bool
+}
+
+// Analyze builds the CFG for fd and solves the forward problem.
+func Analyze(sc *Scanner, fd *ast.FuncDecl) *FlowResult {
+	fr := &FlowResult{Scanner: sc, Decl: fd, Graph: cfg.New(fd.Body)}
+	fr.reach = fr.Graph.Reachable()
+
+	// Universe of charge sites: scan every block node once. A charge
+	// position identifies its event (one call site, one event).
+	chargeIdx := map[token.Pos]int{}
+	for _, b := range fr.Graph.Blocks {
+		for _, n := range b.Nodes {
+			var evs []Event
+			sc.scanForFlow(n, &evs)
+			for _, ev := range evs {
+				if ev.Op == Charge {
+					if _, ok := chargeIdx[ev.Pos]; !ok {
+						chargeIdx[ev.Pos] = len(fr.Charges)
+						fr.Charges = append(fr.Charges, ev)
+					}
+				}
+			}
+		}
+	}
+
+	// Closure discharge events (for the whole-function mechanism scan).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if ev, ok2 := sc.CallEvent(call); ok2 && ev.Op != Charge {
+					fr.ClosureEvents = append(fr.ClosureEvents, ev)
+				}
+			}
+			return true
+		})
+		return false
+	})
+
+	n := len(fr.Charges)
+	nd := deferAllKey + 1 + len(resKinds)
+	spec := dataflow.Spec[flowFact]{
+		Dir:      dataflow.Forward,
+		Boundary: flowFact{charges: dataflow.NewSet(n), defers: dataflow.NewSet(nd)},
+		Init:     flowFact{charges: dataflow.NewSet(n), defers: dataflow.FullSet(nd)},
+		Join: func(a, b flowFact) flowFact {
+			return flowFact{
+				charges: dataflow.Union(a.charges, b.charges),
+				defers:  dataflow.Intersect(a.defers, b.defers),
+			}
+		},
+		Equal: func(a, b flowFact) bool {
+			return dataflow.EqualSets(a.charges, b.charges) && dataflow.EqualSets(a.defers, b.defers)
+		},
+		Transfer: func(b *cfg.Block, in flowFact) flowFact {
+			out := flowFact{charges: in.charges.Clone(), defers: in.defers.Clone()}
+			for _, node := range b.Nodes {
+				fr.applyNode(node, &out, chargeIdx)
+			}
+			return out
+		},
+	}
+	fr.forward = dataflow.Solve(fr.Graph, spec)
+	return fr
+}
+
+// scanForFlow is ScanNode with defer statements classified at the
+// defer site (argument evaluation) rather than as immediate events.
+func (s *Scanner) scanForFlow(n ast.Node, out *[]Event) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return // handled by applyNode
+	}
+	s.ScanNode(n, out)
+}
+
+// applyNode folds one CFG node into the forward fact.
+func (fr *FlowResult) applyNode(node ast.Node, f *flowFact, chargeIdx map[token.Pos]int) {
+	if d, ok := node.(*ast.DeferStmt); ok {
+		for _, ev := range fr.deferEvents(d) {
+			switch ev.Op {
+			case Refund:
+				f.defers.Add(deferKey(ev.Res))
+			case ReleaseAll, ReleaseCall, Track:
+				f.defers.Add(deferAllKey)
+			}
+		}
+		return
+	}
+	var evs []Event
+	fr.Scanner.scanForFlow(node, &evs)
+	for _, ev := range evs {
+		switch ev.Op {
+		case Charge:
+			f.charges.Add(chargeIdx[ev.Pos])
+		default:
+			for _, i := range f.charges.Elems() {
+				if Discharges(ev, fr.Charges[i]) {
+					f.charges.Remove(i)
+				}
+			}
+		}
+	}
+}
+
+// deferEvents classifies a defer statement's discharges: the deferred
+// call itself plus, for deferred closures, the closure body.
+func (fr *FlowResult) deferEvents(d *ast.DeferStmt) []Event {
+	var evs []Event
+	if ev, ok := fr.Scanner.CallEvent(d.Call); ok {
+		evs = append(evs, ev)
+	}
+	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if ev, ok2 := fr.Scanner.CallEvent(call); ok2 {
+					evs = append(evs, ev)
+				}
+			}
+			return true
+		})
+	}
+	return evs
+}
+
+// Returns lists every reachable return with its solved state.
+func (fr *FlowResult) Returns() []ReturnFact {
+	var out []ReturnFact
+	for _, b := range fr.Graph.Blocks {
+		if b.Return == nil || !fr.reach[b] {
+			continue
+		}
+		f := fr.forward.Out[b]
+		rf := ReturnFact{
+			Ret: b.Return, Block: b,
+			Outstanding: f.charges.Elems(),
+			DeferAll:    f.defers.Has(deferAllKey),
+			DeferredRes: map[string]bool{},
+		}
+		for _, res := range resKinds {
+			if f.defers.Has(deferKey(res)) {
+				rf.DeferredRes[res] = true
+			}
+		}
+		out = append(out, rf)
+	}
+	return out
+}
+
+// AnyDeferDischarges reports whether any defer statement in the body
+// registers a discharge for ch. Deferred discharges run at function
+// exit, so they cover a charge regardless of where the defer statement
+// sits relative to the charge site.
+func (fr *FlowResult) AnyDeferDischarges(ch Event) bool {
+	for _, d := range fr.Graph.Defers {
+		for _, ev := range fr.deferEvents(d) {
+			if ev.Op != Charge && Discharges(ev, ch) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AnyClosureDischarges reports whether a function literal in the body
+// contains an event discharging ch: the closure may run later (an
+// OnKill hook, a reaper) and return the balance.
+func (fr *FlowResult) AnyClosureDischarges(ch Event) bool {
+	for _, ev := range fr.ClosureEvents {
+		if Discharges(ev, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// MayDischargeAt reports whether any CFG path from charge site i (just
+// after the charge executes) reaches an event discharging it — a
+// refund, release, track, releasing call, or escape through a return.
+func (fr *FlowResult) MayDischargeAt(i int) bool {
+	ch := fr.Charges[i]
+	gen := func(n ast.Node) []int {
+		var hit bool
+		if d, ok := n.(*ast.DeferStmt); ok {
+			for _, ev := range fr.deferEvents(d) {
+				if ev.Op != Charge && Discharges(ev, ch) {
+					hit = true
+				}
+			}
+		} else {
+			var evs []Event
+			fr.Scanner.scanForFlow(n, &evs)
+			for _, ev := range evs {
+				if ev.Op != Charge && Discharges(ev, ch) {
+					hit = true
+				}
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok && Escapes(fr.Scanner.Pass, ch.Base, ret) {
+				hit = true
+			}
+		}
+		if hit {
+			return []int{0}
+		}
+		return nil
+	}
+	// The gen function depends on the charge, so this solves per charge
+	// site; functions hold a handful of charges, so it stays cheap.
+	res := dataflow.MayReach(fr.Graph, 1, gen)
+	// Locate the charge node in its block and replay.
+	for _, b := range fr.Graph.Blocks {
+		if !fr.reach[b] {
+			continue
+		}
+		for idx, n := range b.Nodes {
+			if containsPos(n, ch.Pos) {
+				return dataflow.ReplayAfter(b, idx, res.In[b], gen).Has(0)
+			}
+		}
+	}
+	// Charge site not found in a reachable block: dead code, nothing to
+	// report.
+	return true
+}
+
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}

@@ -1,0 +1,298 @@
+// Package dataflow is a generic worklist solver over the control-flow
+// graphs of internal/analysis/cfg: an analyzer describes a lattice
+// (join, equality), a direction, and a per-block transfer function, and
+// Solve iterates to the fixed point. One reusable instantiation —
+// must/may reach over small fact universes encoded as bitsets — covers
+// the suite's accounting analyses (chargebalance, faultsafe) and is
+// exposed as MustReach/MayReach.
+//
+// Facts attach to block boundaries: Result.In[b] is the fact at the
+// start of b (forward) and Result.Out[b] the fact at its end; for
+// backward problems In is the fact at the block's *end* as seen walking
+// backward (what holds from here to exit) and Out the fact at its
+// start. Analyses needing mid-block precision re-run their transfer
+// function over Block.Nodes from the boundary fact — transfer functions
+// are pure, so the replay is free of side effects.
+package dataflow
+
+import (
+	"go/ast"
+	"math/bits"
+
+	"repro/internal/analysis/cfg"
+)
+
+// Direction selects forward (entry to exit) or backward propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Spec describes one dataflow problem over fact type F.
+type Spec[F any] struct {
+	Dir Direction
+	// Boundary is the fact entering the graph: at Entry for forward
+	// problems, at Exit for backward ones.
+	Boundary F
+	// Init is every other block's starting fact: the identity of Join
+	// (empty set for may/union problems, the full set for must/
+	// intersection problems).
+	Init F
+	// Join combines facts where paths meet. Must be monotone with
+	// Transfer for termination.
+	Join func(a, b F) F
+	// Equal detects the fixed point.
+	Equal func(a, b F) bool
+	// Transfer maps the fact across one block. For backward problems
+	// "in" is the fact at the block's end and the result the fact at
+	// its start.
+	Transfer func(b *cfg.Block, in F) F
+}
+
+// Result holds the solved boundary facts.
+type Result[F any] struct {
+	In  map[*cfg.Block]F
+	Out map[*cfg.Block]F
+}
+
+// Solve iterates s to its fixed point over g using a worklist seeded in
+// graph order. Unreachable blocks keep Init facts.
+func Solve[F any](g *cfg.Graph, s Spec[F]) Result[F] {
+	res := Result[F]{In: map[*cfg.Block]F{}, Out: map[*cfg.Block]F{}}
+	for _, b := range g.Blocks {
+		res.In[b] = s.Init
+		res.Out[b] = s.Init
+	}
+	boundary := g.Entry
+	if s.Dir == Backward {
+		boundary = g.Exit
+	}
+
+	inEdges := func(b *cfg.Block) []*cfg.Block {
+		if s.Dir == Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	outEdges := func(b *cfg.Block) []*cfg.Block {
+		if s.Dir == Forward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+
+	work := make([]*cfg.Block, 0, len(g.Blocks))
+	queued := make([]bool, len(g.Blocks))
+	push := func(b *cfg.Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		// Init is the identity of Join, so boundary blocks with incoming
+		// edges (e.g. a loop head at entry) join them on top of Boundary.
+		in := s.Init
+		if b == boundary {
+			in = s.Boundary
+		}
+		for _, p := range inEdges(b) {
+			in = s.Join(in, res.Out[p])
+		}
+		out := s.Transfer(b, in)
+		if s.Equal(res.In[b], in) && s.Equal(res.Out[b], out) {
+			continue
+		}
+		res.In[b] = in
+		res.Out[b] = out
+		for _, d := range outEdges(b) {
+			push(d)
+		}
+	}
+	return res
+}
+
+// ---- bitset facts ----
+
+// Set is a small bitset over fact indices, the fact type of the
+// reach analyses. The zero Set is empty.
+type Set struct {
+	words []uint64
+}
+
+// NewSet returns an empty set sized for n facts.
+func NewSet(n int) Set {
+	return Set{words: make([]uint64, (n+63)/64)}
+}
+
+// FullSet returns the set {0..n-1}.
+func FullSet(n int) Set {
+	s := NewSet(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w}
+}
+
+// Add inserts i (the set must have been sized to hold it).
+func (s Set) Add(i int) { s.words[i/64] |= 1 << (i % 64) }
+
+// Remove deletes i.
+func (s Set) Remove(i int) {
+	if i/64 < len(s.words) {
+		s.words[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Has reports membership.
+func (s Set) Has(i int) bool {
+	return i/64 < len(s.words) && s.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Len returns the number of elements.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Elems returns the members in ascending order.
+func (s Set) Elems() []int {
+	var out []int
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t (inputs unchanged).
+func Union(s, t Set) Set {
+	if len(t.words) > len(s.words) {
+		s, t = t, s
+	}
+	out := s.Clone()
+	for i, w := range t.words {
+		out.words[i] |= w
+	}
+	return out
+}
+
+// Intersect returns s ∩ t (inputs unchanged).
+func Intersect(s, t Set) Set {
+	if len(t.words) < len(s.words) {
+		s, t = t, s
+	}
+	out := s.Clone()
+	for i := range out.words {
+		out.words[i] &= t.words[i]
+	}
+	return out
+}
+
+// EqualSets reports s == t.
+func EqualSets(s, t Set) bool {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if long[i] != w {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- reach instantiations ----
+
+// GenFunc reports the fact indices a node generates (for MustReach and
+// MayReach: the releases/discharges the node performs).
+type GenFunc func(n ast.Node) []int
+
+// MustReach computes, for each block b, the set of fact indices that
+// EVERY path from the start of b to Exit generates: the classic
+// must-reach-release problem. nfacts sizes the universe. In the result
+// (a backward problem), In[b] is the fact at the block's END and Out[b]
+// the fact at its start.
+//
+// Mid-block: to ask "which facts does every path from just after node
+// b.Nodes[i] reach?", fold gen backward from In[b] over b.Nodes[i+1:]
+// — that is ReplayAfter.
+func MustReach(g *cfg.Graph, nfacts int, gen GenFunc) Result[Set] {
+	return Solve(g, reachSpec(g, nfacts, gen, true))
+}
+
+// MayReach computes, for each block b, the set of fact indices that
+// SOME path from the start of b to Exit generates.
+func MayReach(g *cfg.Graph, nfacts int, gen GenFunc) Result[Set] {
+	return Solve(g, reachSpec(g, nfacts, gen, false))
+}
+
+func reachSpec(g *cfg.Graph, nfacts int, gen GenFunc, must bool) Spec[Set] {
+	join := Union
+	initFact := NewSet(nfacts)
+	if must {
+		join = Intersect
+		initFact = FullSet(nfacts)
+	}
+	return Spec[Set]{
+		Dir:      Backward,
+		Boundary: NewSet(nfacts), // nothing is reached from beyond Exit
+		Init:     initFact,
+		Join:     join,
+		Equal:    EqualSets,
+		Transfer: func(b *cfg.Block, in Set) Set {
+			out := in.Clone()
+			// Backward: walking from the block's end to its start, every
+			// node's gens become reachable.
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				for _, k := range gen(b.Nodes[i]) {
+					out.Add(k)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// ReplayAfter answers the mid-block reach query: the fact set reached
+// from the point just AFTER b.Nodes[idx], given endFact — the solved
+// In fact of b for a backward problem (what holds at the block's end).
+// Pass idx = -1 for the fact at the start of the block.
+func ReplayAfter(b *cfg.Block, idx int, endFact Set, gen GenFunc) Set {
+	out := endFact.Clone()
+	for i := len(b.Nodes) - 1; i > idx; i-- {
+		for _, k := range gen(b.Nodes[i]) {
+			out.Add(k)
+		}
+	}
+	return out
+}

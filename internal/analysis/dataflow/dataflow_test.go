@@ -1,0 +1,262 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// buildGraph parses src and returns func f's graph.
+func buildGraph(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package x\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return cfg.New(fd.Body)
+		}
+	}
+	t.Fatalf("no func f")
+	return nil
+}
+
+// genCall returns a GenFunc generating fact 0 at any call to the named
+// function (release() in the fixtures below).
+func genCall(name string) GenFunc {
+	return func(n ast.Node) []int {
+		var hit bool
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					hit = true
+				}
+			}
+			return true
+		})
+		if hit {
+			return []int{0}
+		}
+		return nil
+	}
+}
+
+// chargeBlock finds the block containing a call to the named function.
+func chargeBlock(g *cfg.Graph, name string) (*cfg.Block, int) {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return b, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// TestMustReachBranch: release on only one branch is not a must-reach;
+// on both branches it is.
+func TestMustReachBranch(t *testing.T) {
+	partial := `
+func f(a bool) {
+	charge()
+	if a {
+		release()
+	}
+}`
+	full := `
+func f(a bool) {
+	charge()
+	if a {
+		release()
+	} else {
+		release()
+	}
+}`
+	for _, tc := range []struct {
+		src  string
+		want bool
+	}{{partial, false}, {full, true}} {
+		g := buildGraph(t, tc.src)
+		res := MustReach(g, 1, genCall("release"))
+		b, i := chargeBlock(g, "charge")
+		if b == nil {
+			t.Fatalf("charge call not found")
+		}
+		got := ReplayAfter(b, i, res.In[b], genCall("release")).Has(0)
+		if got != tc.want {
+			t.Errorf("must-reach release after charge = %v, want %v\nsrc: %s", got, tc.want, tc.src)
+		}
+	}
+}
+
+// TestMustReachLoop: a release inside a conditional loop body is not
+// guaranteed (zero iterations), but a release after the loop is.
+func TestMustReachLoop(t *testing.T) {
+	inLoop := `
+func f(n int) {
+	charge()
+	for i := 0; i < n; i++ {
+		release()
+	}
+}`
+	afterLoop := `
+func f(n int) {
+	charge()
+	for i := 0; i < n; i++ {
+	}
+	release()
+}`
+	for _, tc := range []struct {
+		src  string
+		want bool
+	}{{inLoop, false}, {afterLoop, true}} {
+		g := buildGraph(t, tc.src)
+		res := MustReach(g, 1, genCall("release"))
+		b, i := chargeBlock(g, "charge")
+		got := ReplayAfter(b, i, res.In[b], genCall("release")).Has(0)
+		if got != tc.want {
+			t.Errorf("must-reach = %v, want %v for:\n%s", got, tc.want, tc.src)
+		}
+	}
+}
+
+// TestMayReach: may-reach is true as soon as one path releases, and
+// false when no path does.
+func TestMayReach(t *testing.T) {
+	some := `
+func f(a bool) {
+	charge()
+	if a {
+		release()
+	}
+}`
+	none := `
+func f(a bool) {
+	charge()
+	if a {
+		other()
+	}
+}`
+	for _, tc := range []struct {
+		src  string
+		want bool
+	}{{some, true}, {none, false}} {
+		g := buildGraph(t, tc.src)
+		res := MayReach(g, 1, genCall("release"))
+		b, i := chargeBlock(g, "charge")
+		got := ReplayAfter(b, i, res.In[b], genCall("release")).Has(0)
+		if got != tc.want {
+			t.Errorf("may-reach = %v, want %v for:\n%s", got, tc.want, tc.src)
+		}
+	}
+}
+
+// TestMustReachGoto: a goto that jumps over the release breaks the
+// must-reach property; the CFG tracks it where a structured walk
+// cannot.
+func TestMustReachGoto(t *testing.T) {
+	g := buildGraph(t, `
+func f(a bool) {
+	charge()
+	if a {
+		goto out
+	}
+	release()
+out:
+	done()
+}`)
+	res := MustReach(g, 1, genCall("release"))
+	b, i := chargeBlock(g, "charge")
+	if ReplayAfter(b, i, res.In[b], genCall("release")).Has(0) {
+		t.Errorf("goto path skips release but must-reach reported true")
+	}
+}
+
+// TestForwardReachingCharges exercises a forward union problem: which
+// charge sites reach each return.
+func TestForwardReachingCharges(t *testing.T) {
+	g := buildGraph(t, `
+func f(a bool) {
+	charge()
+	if a {
+		release()
+		return
+	}
+	return
+}`)
+	gen := genCall("charge")
+	kill := genCall("release")
+	res := Solve(g, Spec[Set]{
+		Dir:      Forward,
+		Boundary: NewSet(1),
+		Init:     NewSet(1),
+		Join:     Union,
+		Equal:    EqualSets,
+		Transfer: func(b *cfg.Block, in Set) Set {
+			out := in.Clone()
+			for _, n := range b.Nodes {
+				for _, k := range gen(n) {
+					out.Add(k)
+				}
+				for _, k := range kill(n) {
+					out.Remove(k)
+				}
+			}
+			return out
+		},
+	})
+	// The released return must not see the charge; the bare return must.
+	var sawClean, sawLeaky bool
+	for _, b := range g.Blocks {
+		if b.Return == nil {
+			continue
+		}
+		if res.Out[b].Has(0) {
+			sawLeaky = true
+		} else {
+			sawClean = true
+		}
+	}
+	if !sawClean || !sawLeaky {
+		t.Errorf("forward facts wrong: clean=%v leaky=%v", sawClean, sawLeaky)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet(130)
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Len() != 3 || !s.Has(129) || s.Has(1) {
+		t.Fatalf("basic ops broken: %v", s.Elems())
+	}
+	u := Union(s, FullSet(3))
+	if u.Len() != 5 {
+		t.Fatalf("union = %v", u.Elems())
+	}
+	i := Intersect(u, FullSet(3))
+	if i.Len() != 3 || !i.Has(0) || !i.Has(2) {
+		t.Fatalf("intersect = %v", i.Elems())
+	}
+	if !EqualSets(Intersect(s, NewSet(130)), NewSet(1)) {
+		t.Fatalf("empty intersect not equal to empty set")
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Len() != 2 {
+		t.Fatalf("remove failed")
+	}
+}

@@ -1,0 +1,106 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// flagTarget reports every function named Target.
+var flagTarget = &analysis.Analyzer{
+	Name: "flagtarget",
+	Doc:  "test analyzer: flags functions named Target",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "Target" {
+					pass.Reportf(fd.Pos(), "function Target found")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// TestPartialLoad is the exit-code contract behind `escort-lint`: a
+// package that fails to type-check becomes a load error, and findings
+// from the healthy packages are still produced — one broken corner
+// must not mask the rest of the run.
+func TestPartialLoad(t *testing.T) {
+	res, err := Run(Options{
+		Dir:       "testdata/brokenmod",
+		Analyzers: []*analysis.Analyzer{flagTarget},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.LoadErrors) != 1 || !strings.Contains(res.LoadErrors[0], "brokenmod/bad") {
+		t.Fatalf("load errors = %v, want one for brokenmod/bad", res.LoadErrors)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings = %+v, want the Target finding from package good", res.Findings)
+	}
+	f := res.Findings[0]
+	if f.Analyzer != "flagtarget" || !strings.HasSuffix(f.Path, "good/good.go") {
+		t.Fatalf("finding = %+v", f)
+	}
+}
+
+// TestSARIFPartialLoad checks the SARIF rendering: findings become
+// results, load errors become error-level tool notifications, and the
+// invocation is marked unsuccessful.
+func TestSARIFPartialLoad(t *testing.T) {
+	res, err := Run(Options{
+		Dir:       "testdata/brokenmod",
+		Analyzers: []*analysis.Analyzer{flagTarget},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteSARIF(&buf); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log = %+v", log)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "escort-lint" || len(run.Tool.Driver.Rules) != 1 {
+		t.Fatalf("driver = %+v", run.Tool.Driver)
+	}
+	if len(run.Results) != 1 || run.Results[0].RuleID != "flagtarget" {
+		t.Fatalf("results = %+v", run.Results)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if !strings.HasSuffix(loc.ArtifactLocation.URI, "good/good.go") || loc.Region.StartLine == 0 {
+		t.Fatalf("location = %+v", loc)
+	}
+	if len(run.Invocations) != 1 || run.Invocations[0].ExecutionSuccessful {
+		t.Fatalf("invocation should be unsuccessful: %+v", run.Invocations)
+	}
+	if len(run.Invocations[0].Notifications) != 1 ||
+		run.Invocations[0].Notifications[0].Level != "error" {
+		t.Fatalf("notifications = %+v", run.Invocations[0].Notifications)
+	}
+}
+
+// TestJSONOutput pins the JSON shape: findings array (never null) plus
+// load_errors.
+func TestJSONOutput(t *testing.T) {
+	res := &Result{}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Fatalf("empty result must render findings as [], got %s", buf.String())
+	}
+}

@@ -1,0 +1,5 @@
+// Package bad fails to type-check on purpose: the driver must report
+// it as a load error while still analyzing package good.
+package bad
+
+func f() int { return "not an int" }

@@ -1,0 +1,6 @@
+// Package good type-checks; the test analyzer flags Target.
+package good
+
+func Target() {}
+
+func other() {}

@@ -1,0 +1,137 @@
+// Package faultsafe checks that fault-injected error paths discharge
+// their accounting. A failpoint (fault.Point.Fire) models an allocation
+// or admission failure at the exact site where the real kernel would
+// fail; the surrounding code returns an error wrapping
+// fault.ErrInjected. The chaos harness then asserts that charge ledgers
+// drain to zero — which only holds if every return inside a
+// `if p.Fire() { ... }` body discharges the charges made before it.
+//
+// faultsafe replays the chargebalance forward facts (see
+// internal/analysis/charges) at each return lexically inside a Fire
+// body and reports any charge that may still be outstanding there.
+// Unlike chargebalance rule 1, //escort:held charges are NOT exempt: a
+// held charge is refunded by some later teardown (thread exit, owner
+// destroy), but a construction that failed at a failpoint never reaches
+// its teardown — the injected path must unwind the charge itself.
+// Deferred refunds and escape of the charged owner still count: both
+// run/hold on the injected path too.
+//
+// The cheapest fix is also the best one: fire the failpoint BEFORE
+// charging, as internal/iobuf, internal/kernel, and internal/path do.
+package faultsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/charges"
+)
+
+// FaultPath is the package defining Point and ErrInjected.
+var FaultPath = "repro/internal/fault"
+
+// Analyzer is the faultsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultsafe",
+	Doc: "returns inside `if failpoint.Fire()` bodies must not leak charges: " +
+		"the chaos harness asserts ledgers drain to zero on injected failures, " +
+		"and held charges get no teardown when construction fails",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	var sc *charges.Scanner // built lazily: most packages have no failpoints
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			bodies := fireBodies(pass, fd)
+			if len(bodies) == 0 {
+				continue
+			}
+			if sc == nil {
+				sc = charges.NewScanner(pass)
+			}
+			checkFunc(pass, sc, fd, bodies)
+		}
+	}
+	return nil
+}
+
+// fireBodies collects the bodies of if statements guarded by a
+// failpoint firing. Only un-negated occurrences count: the body of
+// `if p.Fire()` (possibly under &&/||) is the injected path; closures
+// are skipped because their returns belong to another function.
+func fireBodies(pass *analysis.Pass, fd *ast.FuncDecl) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if condFires(pass, ifs.Cond) {
+			bodies = append(bodies, ifs.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+func condFires(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return isFireCall(pass, e)
+	case *ast.BinaryExpr:
+		return condFires(pass, e.X) || condFires(pass, e.Y)
+	case *ast.ParenExpr:
+		return condFires(pass, e.X)
+	}
+	return false
+}
+
+// isFireCall reports whether call is (*fault.Point).Fire.
+func isFireCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Fire" {
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == FaultPath
+}
+
+func checkFunc(pass *analysis.Pass, sc *charges.Scanner, fd *ast.FuncDecl, bodies []*ast.BlockStmt) {
+	fr := charges.Analyze(sc, fd)
+	if len(fr.Charges) == 0 {
+		return
+	}
+	for _, rf := range fr.Returns() {
+		inside := false
+		for _, b := range bodies {
+			if b.Pos() <= rf.Ret.Pos() && rf.Ret.End() <= b.End() {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			continue
+		}
+		for _, i := range rf.Outstanding {
+			ch := fr.Charges[i]
+			if rf.DeferAll || rf.DeferredRes[ch.Res] {
+				continue
+			}
+			if ch.Base != nil && charges.Escapes(pass, ch.Base, rf.Ret) {
+				continue
+			}
+			pass.Reportf(rf.Ret.Pos(),
+				"fault-injected error path leaks Charge%s charged at line %d: discharge before returning the injected error (held charges are not exempt — a failed construction never runs its teardown)",
+				ch.Res, pass.Fset.Position(ch.Pos).Line)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package faultsafe
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFaultsafe(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

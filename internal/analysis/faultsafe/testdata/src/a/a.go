@@ -1,0 +1,90 @@
+// Fixture for the faultsafe analyzer: returns inside failpoint-guarded
+// bodies must not leak charges, and //escort:held is no excuse there.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+type mgr struct {
+	fail *fault.Point
+}
+
+func leakOnFault(m *mgr, o *core.Owner) error {
+	o.ChargeKmem(64)
+	if m.fail.Fire() {
+		return fmt.Errorf("alloc: %w", fault.ErrInjected) // want `fault-injected error path leaks ChargeKmem charged at line \d+`
+	}
+	o.RefundKmem(64)
+	return nil
+}
+
+// heldNotExempt: chargebalance accepts the annotation, faultsafe does
+// not — the teardown that would refund a held charge never runs when
+// construction fails at the failpoint.
+func heldNotExempt(m *mgr, o *core.Owner) error {
+	o.ChargeStacks(1) //escort:held refunded at thread exit
+	if m.fail.Fire() {
+		return fmt.Errorf("spawn: %w", fault.ErrInjected) // want `fault-injected error path leaks ChargeStacks`
+	}
+	return nil
+}
+
+func dischargedBeforeReturn(m *mgr, o *core.Owner) error {
+	o.ChargeKmem(64)
+	if m.fail.Fire() {
+		o.RefundKmem(64)
+		return fmt.Errorf("alloc: %w", fault.ErrInjected)
+	}
+	o.RefundKmem(64)
+	return nil
+}
+
+// firePreCharge is the recommended shape: fail before anything is
+// charged, as the real iobuf/kernel/path failpoints do.
+func firePreCharge(m *mgr, o *core.Owner) error {
+	if m.fail.Fire() {
+		return fmt.Errorf("pre: %w", fault.ErrInjected)
+	}
+	o.ChargeKmem(8)
+	o.RefundKmem(8)
+	return nil
+}
+
+// deferredCovers: the deferred refund runs on the injected path too.
+func deferredCovers(m *mgr, o *core.Owner) error {
+	o.ChargeKmem(16)
+	defer o.RefundKmem(16)
+	if m.fail.Fire() {
+		return errors.New("injected")
+	}
+	return nil
+}
+
+// escapeCovers hands the charged owner to the caller even on the
+// injected path; the caller owns the unwind.
+func escapeCovers(m *mgr, name string) (*core.Owner, error) {
+	o := core.NewOwner(name, core.PathOwner)
+	o.ChargeKmem(8)
+	if m.fail.Fire() {
+		return o, fmt.Errorf("partial: %w", fault.ErrInjected)
+	}
+	o.ReleaseAll(false)
+	return o, nil
+}
+
+// negatedGuard: the body of `if !p.Fire()` is the SUCCESS path; no
+// report there.
+func negatedGuard(m *mgr, o *core.Owner) error {
+	o.ChargeKmem(4)
+	if !m.fail.Fire() {
+		o.RefundKmem(4)
+		return nil
+	}
+	o.RefundKmem(4)
+	return errors.New("injected")
+}

@@ -1,0 +1,295 @@
+// Package handlesafe enforces the pooled-handle discipline around
+// sim.Event. Handles are generation-stamped by-value tokens into the
+// engine's event pool: Cancel of a stale handle is inert, but a
+// canceled handle left in a variable still LOOKS armed to any code that
+// compares it against the zero Event or copies it somewhere — the slot
+// it names will be recycled for an unrelated timer. The codebase-wide
+// pattern is cancel-then-zero:
+//
+//	c.st.Eng.Cancel(c.retryEv)
+//	c.retryEv = sim.Event{}
+//
+// Two rules:
+//
+//  1. Use-after-cancel: on any CFG path from an Engine.Cancel(h) call,
+//     reading h (comparing it, copying it, passing it anywhere except
+//     another Cancel — Cancel is idempotent by design) before h is
+//     reassigned is flagged. Handles are tracked syntactically by their
+//     expression spelling (h, c.retryEv), which matches how the
+//     codebase names timer slots.
+//  2. No aliasing: taking the address of a sim.Event, or declaring a
+//     variable or struct field of type *sim.Event, is flagged. A
+//     pointer to a handle is a pointer into pool bookkeeping; the
+//     generation-stamp staleness check only protects values.
+//
+// The sim package itself is exempt (it manipulates pool internals), as
+// are test files.
+package handlesafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// SimPath is the package defining Engine and Event.
+var SimPath = "repro/internal/sim"
+
+// Analyzer is the handlesafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "handlesafe",
+	Doc: "pooled sim.Event handles must be reassigned before any read after " +
+		"Engine.Cancel (cancel-then-zero), and never held by pointer",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == SimPath {
+		return nil
+	}
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		c.checkAliasing(f)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// isEventType reports whether t is sim.Event.
+func (c *checker) isEventType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Path() == SimPath
+}
+
+// isCancelCall reports whether call is (*sim.Engine).Cancel and returns
+// its handle argument.
+func (c *checker) isCancelCall(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Cancel" || len(call.Args) != 1 {
+		return nil, false
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != SimPath {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// ---- rule 2: aliasing ----
+
+func (c *checker) checkAliasing(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if tv, ok := c.pass.TypesInfo.Types[n.X]; ok && c.isEventType(tv.Type) {
+				c.pass.Reportf(n.Pos(),
+					"taking the address of a sim.Event handle aliases pool bookkeeping: handles are by-value tokens — pass and store the Event itself")
+			}
+		case *ast.StarExpr:
+			// A *sim.Event TYPE (field, var, param, return). The types
+			// map records type expressions too.
+			if tv, ok := c.pass.TypesInfo.Types[n]; ok && tv.IsType() {
+				if p, ok := tv.Type.(*types.Pointer); ok && c.isEventType(p.Elem()) {
+					c.pass.Reportf(n.Pos(),
+						"*sim.Event defeats the generation-stamp staleness check: hold pooled handles by value")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ---- rule 1: use-after-cancel ----
+
+// handleKey returns the canonical spelling of a trackable handle
+// expression: a plain identifier or a selector chain of identifiers.
+// Anything else (map index, function result) is not tracked.
+func handleKey(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := handleKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return handleKey(e.X)
+	}
+	return "", false
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	// Universe: spellings of handle expressions passed to Cancel.
+	keys := map[string]int{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if arg, ok := c.isCancelCall(call); ok {
+				if tv, ok := c.pass.TypesInfo.Types[arg]; ok && c.isEventType(tv.Type) {
+					if k, ok := handleKey(arg); ok {
+						if _, seen := keys[k]; !seen {
+							keys[k] = len(keys)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(keys) == 0 {
+		return
+	}
+
+	g := cfg.New(fd.Body)
+	transfer := func(b *cfg.Block, in dataflow.Set) dataflow.Set {
+		out := in.Clone()
+		for _, n := range b.Nodes {
+			c.applyNode(n, keys, out, nil)
+		}
+		return out
+	}
+	res := dataflow.Solve(g, dataflow.Spec[dataflow.Set]{
+		Dir:      dataflow.Forward,
+		Boundary: dataflow.NewSet(len(keys)),
+		Init:     dataflow.NewSet(len(keys)),
+		Join:     dataflow.Union,
+		Equal:    dataflow.EqualSets,
+		Transfer: transfer,
+	})
+
+	// Reporting pass: replay each reachable block from its In fact.
+	reach := g.Reachable()
+	reported := map[token.Pos]bool{}
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		f := res.In[b].Clone()
+		for _, n := range b.Nodes {
+			c.applyNode(n, keys, f, func(key string, pos token.Pos) {
+				if !reported[pos] {
+					reported[pos] = true
+					c.pass.Reportf(pos,
+						"use of canceled handle %s: reassign it (typically %s = sim.Event{}) before reading it again — a stale handle looks armed and its pool slot will be recycled",
+						key, key)
+				}
+			})
+		}
+	}
+}
+
+// applyNode folds one CFG node into the stale-set: reads are checked
+// against the incoming fact, assignment to a tracked spelling kills its
+// staleness, and Cancel calls mark their argument stale. report may be
+// nil (solver mode).
+func (c *checker) applyNode(n ast.Node, keys map[string]int, f dataflow.Set, report func(key string, pos token.Pos)) {
+	// Deferred and goroutine-launched cancels run at some other time,
+	// not at this program point.
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return
+	}
+	// Reads first: the value observed is the pre-node one.
+	c.walkReads(n, keys, f, report)
+	// Kills: direct assignment to a tracked spelling.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if k, ok := handleKey(lhs); ok {
+				if i, tracked := keys[k]; tracked {
+					f.Remove(i)
+				}
+			}
+		}
+	}
+	// Gens: Cancel marks its argument stale.
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if arg, ok := c.isCancelCall(call); ok {
+				if k, ok := handleKey(arg); ok {
+					if i, tracked := keys[k]; tracked {
+						f.Add(i)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkReads reports tracked spellings read while stale. Exempt: the
+// argument of a Cancel call (idempotent by design) and assignment
+// left-hand sides (those are the kills).
+func (c *checker) walkReads(n ast.Node, keys map[string]int, f dataflow.Set, report func(key string, pos token.Pos)) {
+	if report == nil {
+		return
+	}
+	var walk func(m ast.Node)
+	walk = func(m ast.Node) {
+		ast.Inspect(m, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if arg, ok := c.isCancelCall(x); ok {
+					walk(x.Fun)
+					for _, a := range x.Args {
+						if a != arg {
+							walk(a)
+						}
+					}
+					return false
+				}
+			case *ast.AssignStmt:
+				for _, e := range x.Rhs {
+					walk(e)
+				}
+				for _, lhs := range x.Lhs {
+					if _, ok := handleKey(lhs); !ok {
+						walk(lhs) // e.g. m[h] = v reads h
+					}
+				}
+				return false
+			case *ast.SelectorExpr, *ast.Ident:
+				k, ok := handleKey(x.(ast.Expr))
+				if !ok {
+					return true
+				}
+				if i, tracked := keys[k]; tracked && f.Has(i) {
+					report(k, x.Pos())
+				}
+				return false
+			}
+			return true
+		})
+	}
+	walk(n)
+}

@@ -1,0 +1,11 @@
+package handlesafe
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHandlesafe(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,71 @@
+// Fixture for the handlesafe analyzer: cancel-then-zero discipline for
+// pooled sim.Event handles, and no handle aliasing.
+package a
+
+import (
+	"repro/internal/sim"
+)
+
+type conn struct {
+	retryEv  sim.Event
+	delackEv sim.Event
+}
+
+// cancelThenZero is the blessed pattern.
+func cancelThenZero(eng *sim.Engine, c *conn) {
+	eng.Cancel(c.retryEv)
+	c.retryEv = sim.Event{}
+	eng.Cancel(c.delackEv)
+	c.delackEv = sim.Event{}
+}
+
+// useAfterCancel reads the handle again without reassigning it.
+func useAfterCancel(eng *sim.Engine, c *conn) bool {
+	eng.Cancel(c.retryEv)
+	return c.retryEv == (sim.Event{}) // want `use of canceled handle c\.retryEv`
+}
+
+// copyAfterCancel leaks the stale handle into another variable.
+func copyAfterCancel(eng *sim.Engine, h sim.Event) sim.Event {
+	eng.Cancel(h)
+	return h // want `use of canceled handle h`
+}
+
+// doubleCancel is fine: Cancel is idempotent by design.
+func doubleCancel(eng *sim.Engine, h sim.Event) {
+	eng.Cancel(h)
+	eng.Cancel(h)
+}
+
+// rearmAfterCancel overwrites the handle with a fresh one: clean.
+func rearmAfterCancel(eng *sim.Engine, c *conn, fn func()) {
+	eng.Cancel(c.retryEv)
+	c.retryEv = eng.After(10, fn)
+	if c.retryEv == (sim.Event{}) {
+		return
+	}
+}
+
+// branchCancel: only one path cancels, and the read afterwards is a
+// may-use-after-cancel.
+func branchCancel(eng *sim.Engine, c *conn, drop bool) bool {
+	if drop {
+		eng.Cancel(c.retryEv)
+	}
+	return c.retryEv == (sim.Event{}) // want `use of canceled handle c\.retryEv`
+}
+
+// deferredCancel runs at exit, not at the defer statement: the read
+// between them is fine.
+func deferredCancel(eng *sim.Engine, c *conn) bool {
+	defer eng.Cancel(c.retryEv)
+	return c.retryEv == (sim.Event{})
+}
+
+type badHolder struct {
+	ev *sim.Event // want `\*sim\.Event defeats the generation-stamp staleness check`
+}
+
+func takesAddress(c *conn) *sim.Event { // want `\*sim\.Event defeats the generation-stamp staleness check`
+	return &c.retryEv // want `taking the address of a sim\.Event handle`
+}

@@ -1,0 +1,25 @@
+package hotpathalloc
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	oldHot, oldObs := HotPackages, ObsPath
+	HotPackages = []string{"a"}
+	ObsPath = "a"
+	defer func() { HotPackages, ObsPath = oldHot, oldObs }()
+	analysistest.Run(t, Analyzer, "testdata/src/a")
+}
+
+// TestHotpathallocCrossPackage marks only package b hot; boxing into
+// a.Sink's variadic parameter must be judged from the imported
+// signature.
+func TestHotpathallocCrossPackage(t *testing.T) {
+	oldHot := HotPackages
+	HotPackages = []string{"b"}
+	defer func() { HotPackages = oldHot }()
+	analysistest.Run(t, Analyzer, "testdata/src/b")
+}

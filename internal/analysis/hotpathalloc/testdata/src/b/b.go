@@ -1,0 +1,18 @@
+// Cross-package fixture: package b is hot, package a is not. Boxing is
+// judged against the imported signature, so the analyzer must see
+// a.Sink's ...any parameter across the package boundary.
+package b
+
+import "a"
+
+func hotForward(n int) int {
+	return a.Sink(n) // want `argument n is boxed into interface parameter`
+}
+
+func passThrough(args ...any) int {
+	return a.Sink(args...)
+}
+
+func coldRing() any {
+	return a.Sink // referencing the func does not allocate
+}

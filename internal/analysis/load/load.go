@@ -82,17 +82,46 @@ func NewLoader(dir string, tests bool) *Loader {
 // Fset returns the shared file set (positions of every loaded file).
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// LoadError records one package that failed to parse or type-check
+// during LoadAll.
+type LoadError struct {
+	ImportPath string
+	Err        error
+}
+
+func (e LoadError) Error() string { return e.ImportPath + ": " + e.Err.Error() }
+
 // Load lists the packages matching patterns and type-checks them (and
 // their module dependencies). Returned packages are the pattern roots,
-// in go list order.
+// in go list order. Any package failure fails the whole load; use
+// LoadAll for partial-failure semantics.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
-	roots, err := l.list(patterns, false)
+	pkgs, errs, err := l.LoadAll(patterns...)
 	if err != nil {
 		return nil, err
 	}
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return pkgs, nil
+}
+
+// LoadAll is Load with partial-failure semantics: roots that fail to
+// parse or type-check are reported in the LoadError slice while every
+// healthy root still loads — a broken package must not mask findings in
+// the rest of the module. The hard error is reserved for total failure
+// (go list itself refusing the patterns).
+func (l *Loader) LoadAll(patterns ...string) ([]*Package, []LoadError, error) {
+	roots, err := l.list(patterns, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	var loadErrs []LoadError
 	if l.Tests {
 		// Test files may import packages outside the non-test
 		// dependency graph; fetch metadata for any we haven't seen.
+		// Failures here surface later as type-check errors on the roots
+		// that need the missing import.
 		var missing []string
 		seen := map[string]bool{}
 		for _, ip := range roots {
@@ -108,7 +137,11 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 		if len(missing) > 0 {
 			if _, err := l.list(missing, true); err != nil {
-				return nil, err
+				// Retry one by one so a single unlistable test import
+				// doesn't block metadata for the others.
+				for _, imp := range missing {
+					_, _ = l.list([]string{imp}, true)
+				}
 			}
 		}
 	}
@@ -116,20 +149,22 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	for _, ip := range roots {
 		p, err := l.checkPkg(ip, l.Tests)
 		if err != nil {
-			return nil, err
+			loadErrs = append(loadErrs, LoadError{ImportPath: ip, Err: err})
+		} else {
+			p.Root = true
+			out = append(out, p)
 		}
-		p.Root = true
-		out = append(out, p)
 		if l.Tests && len(l.meta[ip].XTestGoFiles) > 0 {
 			xp, err := l.checkXTest(ip)
 			if err != nil {
-				return nil, err
+				loadErrs = append(loadErrs, LoadError{ImportPath: ip + "_test", Err: err})
+				continue
 			}
 			xp.Root = true
 			out = append(out, xp)
 		}
 	}
-	return out, nil
+	return out, loadErrs, nil
 }
 
 // Check type-checks a single package by import path (used by

@@ -24,7 +24,6 @@ package iobuf
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/domain"
@@ -46,6 +45,7 @@ const (
 	PermRW
 )
 
+//escort:coldpath diagnostic stringer; the Sprintf fallback formats only invalid values
 func (p Perm) String() string {
 	switch p {
 	case PermNone:
@@ -124,10 +124,16 @@ type Manager struct {
 
 	failGrant *fault.Point // "iobuf.grant" failpoint, resolved once
 
+	// scratch backs the per-allocation cache probe (specDomains) so the
+	// hot path stays allocation-free after warmup.
+	scratch []domain.ID
+
 	hits, misses uint64
 }
 
 // NewManager returns an IOBuffer manager bound to the kernel.
+//
+//escort:coldpath constructor, once per kernel
 func NewManager(k *kernel.Kernel) *Manager {
 	return &Manager{k: k, tracer: k.Tracer(), failGrant: k.FaultSet().Point("iobuf.grant")}
 }
@@ -176,11 +182,11 @@ func (m *Manager) Alloc(ctx *kernel.Ctx, owner *core.Owner, npages int, spec Map
 			return nil, fmt.Errorf("%w: %v", ErrExhausted, err)
 		}
 		m.nextID++
-		b = &Buffer{
+		b = &Buffer{ //escort:coldpath cache miss: fresh buffer construction, amortized by the parked-buffer cache
 			id:       m.nextID,
 			mgr:      m,
 			pages:    npages,
-			data:     make([]byte, npages*mem.PageSize),
+			data:     make([]byte, npages*mem.PageSize), //escort:coldpath cache miss, as above
 			mappings: make(map[domain.ID]Perm),
 			blk:      blk,
 		}
@@ -213,7 +219,7 @@ func (b *Buffer) applySpec(spec MapSpec) {
 }
 
 func (b *Buffer) hold(owner *core.Owner) *Hold {
-	h := &Hold{buf: b, owner: owner}
+	h := &Hold{buf: b, owner: owner} //escort:coldpath per-hold handle: caller-owned token carrying the charge, freed with the hold
 	h.node.Value = h
 	b.refcnt++
 	owner.ChargePages(uint64(b.pages))
@@ -321,7 +327,7 @@ func (m *Manager) park(b *Buffer) {
 	b.frozen = false
 	if len(m.cache) < cacheLimit {
 		b.cached = true
-		m.cache = append(m.cache, b)
+		m.cache = append(m.cache, b) //escort:coldpath bounded: the guard above caps the cache at cacheLimit
 		return
 	}
 	m.reclaim(b)
@@ -336,7 +342,7 @@ func (m *Manager) reclaim(b *Buffer) {
 // fromCache finds a parked buffer whose read mappings cover the wanted
 // domains with the right size — the paper's no-cleaning reuse rule.
 func (m *Manager) fromCache(npages int, spec MapSpec) *Buffer {
-	want := specDomains(spec)
+	want := m.specDomains(spec)
 	for i, b := range m.cache {
 		if b.pages != npages {
 			continue
@@ -350,8 +356,12 @@ func (m *Manager) fromCache(npages int, spec MapSpec) *Buffer {
 	return nil
 }
 
-func specDomains(spec MapSpec) []domain.ID {
-	ds := []domain.ID{spec.Current}
+// specDomains returns the wanted mapping set for spec, sorted. The
+// result aliases m.scratch: the probe runs on every allocation, and
+// reusing the scratch slice (with an insertion sort instead of the
+// closure-taking sort.Slice) keeps it off the heap entirely.
+func (m *Manager) specDomains(spec MapSpec) []domain.ID {
+	ds := append(m.scratch[:0], spec.Current)
 	for _, d := range spec.PathDomains {
 		if d != spec.Current {
 			ds = append(ds, d)
@@ -360,7 +370,12 @@ func specDomains(spec MapSpec) []domain.ID {
 			break
 		}
 	}
-	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	m.scratch = ds
 	return ds
 }
 

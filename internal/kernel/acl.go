@@ -119,6 +119,7 @@ var opNames = map[Op]string{
 	OpSchedSetDeadline: "schedSetDeadline", OpDomainStat: "domainStat",
 }
 
+//escort:coldpath diagnostic stringer; the Sprintf fallback formats only unknown opcodes
 func (o Op) String() string {
 	if n, ok := opNames[o]; ok {
 		return n
@@ -142,6 +143,8 @@ type aclKey struct {
 
 // NewACL returns the default ACL: policy-setting syscalls (owner limits,
 // scheduler shares) are denied to unprivileged domains.
+//
+//escort:coldpath constructor, once per kernel
 func NewACL() *ACL {
 	a := &ACL{denied: make(map[aclKey]bool)}
 	return a
@@ -200,6 +203,8 @@ func (c *Ctx) Syscall(op Op) error {
 
 // ConsoleWrite is the console syscall: writes bytes to the configured
 // trace sink, charged per byte.
+//
+//escort:coldpath console syscall: a diagnostic path whose cost is explicitly charged per byte
 func (c *Ctx) ConsoleWrite(msg string) error {
 	if err := c.Syscall(OpConsoleWrite); err != nil {
 		return err

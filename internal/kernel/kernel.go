@@ -117,6 +117,8 @@ type Kernel struct {
 }
 
 // New creates a kernel on the given engine with the given cost model.
+//
+//escort:coldpath constructor, once per simulation
 func New(eng *sim.Engine, model *cost.Model, cfg Config) *Kernel {
 	if cfg.TotalPages <= 0 {
 		cfg.TotalPages = 4096
@@ -271,6 +273,8 @@ func (k *Kernel) AccountingTax() sim.Cycles {
 }
 
 // Logf writes to the configured console.
+//
+//escort:coldpath console diagnostics: a no-op unless a Console sink is configured
 func (k *Kernel) Logf(format string, args ...any) {
 	if k.cfg.Console == nil {
 		return
@@ -287,7 +291,7 @@ func (k *Kernel) Logf(format string, args ...any) {
 // controllable even with a runaway thread on a no-limit configuration.
 func (k *Kernel) Run(until sim.Cycles) {
 	k.runDeadline = until
-	defer func() { k.runDeadline = 0 }()
+	defer func() { k.runDeadline = 0 }() //escort:coldpath one closure per Run invocation, not per event
 	// Metrics are sampled at loop boundaries only: here every burned
 	// cycle has been fully charged to an owner, so each sample satisfies
 	// the Table 1 invariant (summed owner cycles == Now) exactly. The

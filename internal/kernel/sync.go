@@ -2,7 +2,6 @@ package kernel
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/lib"
@@ -33,6 +32,8 @@ type Semaphore struct {
 }
 
 // NewSemaphore creates a semaphore charged to owner.
+//
+//escort:coldpath constructor: creation is charged (ChargeSemaphore + kmem), not packet path
 func (k *Kernel) NewSemaphore(owner *core.Owner, name string, initial int) *Semaphore {
 	s := &Semaphore{k: k, owner: owner, name: name, count: initial}
 	s.node.Value = s
@@ -64,7 +65,7 @@ func (s *Semaphore) P(c *Ctx) error {
 		return nil
 	}
 	t := c.t
-	s.waiters = append(s.waiters, t)
+	s.waiters = append(s.waiters, t) //escort:coldpath waiter list shrinks on wake; the backing array amortizes to steady state
 	t.sem = s
 	c.block()
 	t.sem = nil
@@ -150,22 +151,27 @@ func (s *Semaphore) release() {
 // A Repeat interval re-arms the event after each firing — the TCP master
 // event uses this.
 type KEvent struct {
-	k        *Kernel
-	owner    *core.Owner
-	name     string
-	fn       Fn
-	ev       sim.Event
-	node     lib.Node
-	repeat   sim.Cycles
-	nextAt   sim.Cycles
-	canceled bool
-	firings  uint64
+	k     *Kernel
+	owner *core.Owner
+	name  string
+	// spawnName is the firing thread's name, built once at registration
+	// so each firing spawns without formatting.
+	spawnName string
+	fn        Fn
+	ev        sim.Event
+	node      lib.Node
+	repeat    sim.Cycles
+	nextAt    sim.Cycles
+	canceled  bool
+	firings   uint64
 }
 
 // RegisterEvent arms an event owned by owner: after delay cycles a new
 // thread owned by owner runs fn. repeat > 0 re-arms with that interval.
+//
+//escort:coldpath constructor: registration is charged (ChargeEvent + kmem), not packet path
 func (k *Kernel) RegisterEvent(owner *core.Owner, name string, delay, repeat sim.Cycles, fn Fn) *KEvent {
-	e := &KEvent{k: k, owner: owner, name: name, fn: fn, repeat: repeat}
+	e := &KEvent{k: k, owner: owner, name: name, spawnName: "ev:" + name, fn: fn, repeat: repeat}
 	e.node.Value = e
 	owner.ChargeEvent()
 	owner.ChargeKmem(eventKmem)
@@ -200,7 +206,7 @@ func (e *KEvent) fire() {
 		e.arm()
 	}
 	e.k.Burn(e.owner, e.k.model.EventOp)
-	e.k.Spawn(e.owner, fmt.Sprintf("ev:%s", e.name), e.fn, SpawnOpts{})
+	e.k.Spawn(e.owner, e.spawnName, e.fn, SpawnOpts{})
 	if e.repeat == 0 {
 		e.owner.Untrack(core.TrackEvents, &e.node)
 		e.retire()

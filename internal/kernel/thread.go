@@ -49,7 +49,7 @@ func (y yieldKind) String() string {
 	case yieldKilled:
 		return "kill"
 	default:
-		return fmt.Sprintf("yieldKind(%d)", int(y))
+		return fmt.Sprintf("yieldKind(%d)", int(y)) //escort:coldpath diagnostic stringer fallback for unknown kinds
 	}
 }
 
@@ -180,15 +180,15 @@ func (k *Kernel) SpawnChecked(owner *core.Owner, name string, fn Fn, opts SpawnO
 		k.faultCounters.Inc(owner.Name)
 		return nil, fmt.Errorf("kernel: spawn %q: %w", name, fault.ErrInjected)
 	}
-	t := &Thread{
+	t := &Thread{ //escort:coldpath thread construction: spawn is charged (ThreadSpawn + kmem + stack), not packet path
 		k:          k,
 		name:       name,
 		owner:      owner,
-		resume:     make(chan struct{}),
-		yielded:    make(chan yieldKind),
+		resume:     make(chan struct{}),  //escort:coldpath spawn construction, as above
+		yielded:    make(chan yieldKind), //escort:coldpath spawn construction, as above
 		state:      threadNew,
 		curDomain:  opts.StartDomain,
-		stacks:     make(map[domain.ID]bool),
+		stacks:     make(map[domain.ID]bool), //escort:coldpath spawn construction, as above
 		allowed:    opts.Allowed,
 		schedState: sched.NewState(OwnerShare(owner)),
 	}
@@ -196,7 +196,7 @@ func (k *Kernel) SpawnChecked(owner *core.Owner, name string, fn Fn, opts SpawnO
 	owner.ChargeKmem(threadKmem)
 	owner.ChargeStacks(1) // home stack
 	owner.Track(core.TrackThreads, &t.node)
-	k.threads = append(k.threads, t)
+	k.threads = append(k.threads, t) //escort:coldpath live-thread list grows once per spawn; removeThread shrinks it in place
 	if !opts.NoCharge {
 		k.Burn(owner, k.model.ThreadSpawn+k.AccountingTax())
 	}
@@ -204,7 +204,7 @@ func (k *Kernel) SpawnChecked(owner *core.Owner, name string, fn Fn, opts SpawnO
 		tr.ThreadSpawn(uint32(t.curDomain), owner.Name, name, k.eng.Now())
 	}
 
-	go func() {
+	go func() { //escort:coldpath one goroutine environment per spawned thread
 		<-t.resume
 		defer func() {
 			if r := recover(); r != nil {
@@ -238,7 +238,7 @@ func (k *Kernel) SpawnChecked(owner *core.Owner, name string, fn Fn, opts SpawnO
 // dependency-free; the kernel pins the concrete type here.
 func OwnerShare(o *core.Owner) *sched.Share {
 	if o.Sched == nil {
-		sh := &sched.Share{Tickets: 10}
+		sh := &sched.Share{Tickets: 10} //escort:coldpath materialized once per owner on first scheduling contact
 		o.Sched = sh
 		return sh
 	}
@@ -309,7 +309,7 @@ func (c *Ctx) Use(n sim.Cycles) {
 	c.t.usedThisSlice += n
 	limit := c.t.owner.Limits.MaxRunCycles
 	if limit > 0 && c.t.sinceYield > limit && !c.t.killed {
-		c.k.Logf("runaway: thread %q exceeded %d cycles without yield", c.t.name, limit)
+		c.k.Logf("runaway: thread %q exceeded %d cycles without yield", c.t.name, limit) //escort:coldpath runaway diagnostic: fires once per policy violation, not per packet
 		if tr := c.k.tracer; tr != nil {
 			tr.Policy("maxRuntime", c.t.owner.Name, c.t.name, c.Now())
 		}
@@ -358,7 +358,7 @@ func (c *Ctx) Sleep(d sim.Cycles) {
 	c.checkCurrent("Sleep")
 	c.checkKilled()
 	t := c.t
-	c.k.eng.After(d, func() {
+	c.k.eng.After(d, func() { //escort:coldpath one wakeup closure per Sleep; an arg-carrying engine callback would remove it (ROADMAP: allocation-free packet path)
 		if t.state == threadBlocked {
 			c.k.makeRunnable(t)
 		}
@@ -421,13 +421,13 @@ func (c *Ctx) Cross(target domain.ID, fn func()) {
 		t.owner.ChargeStacks(1) //escort:held per-domain stack, refunded by refundCharges at thread exit
 		c.Use(m.StackSetup)
 	}
-	t.crossStack = append(t.crossStack, t.curDomain)
+	t.crossStack = append(t.crossStack, t.curDomain) //escort:coldpath crossing stack pops on return; the backing array amortizes to its high-water mark
 	from := t.curDomain
 	t.curDomain = target
 	if c.k.tlb.Touch(target) {
 		c.Use(m.TLBMissPenalty)
 	}
-	defer func() {
+	defer func() { //escort:coldpath panic-safe restore: the env survives kill-unwind through the crossing
 		// Return crossing: trap to the special address, pop the kernel
 		// crossing stack, flush again.
 		t.curDomain = from

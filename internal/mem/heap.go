@@ -137,7 +137,7 @@ func (h *Heap) release(o *Obj) {
 	if o.owner != h.domain {
 		o.owner.RefundKmem(uint64(o.size))
 		if !h.domain.Dead() {
-			h.domain.ChargeKmem(uint64(o.size))
+			h.domain.ChargeKmem(uint64(o.size)) //escort:held charge transfer back: the heap re-assumes bytes a dying owner refunded; refunded with the backing block in Destroy
 		}
 		if set := h.byOwner[o.owner]; set != nil {
 			delete(set, o)

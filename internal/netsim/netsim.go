@@ -20,6 +20,8 @@ type MAC uint64
 const Broadcast MAC = 0xFFFFFFFFFFFF
 
 // String renders the address in colon-hex.
+//
+//escort:coldpath diagnostic stringer, used by traces and tests
 func (m MAC) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
 		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
@@ -66,6 +68,8 @@ type NIC struct {
 }
 
 // NewNIC creates a NIC with the given name and address.
+//
+//escort:coldpath constructor, topology setup
 func NewNIC(name string, mac MAC) *NIC {
 	return &NIC{Name: name, Mac: mac}
 }
@@ -124,7 +128,7 @@ func newMedium(eng *sim.Engine, bitsPerSec uint64, prop sim.Cycles) *medium {
 	if cyclesPerByte == 0 {
 		cyclesPerByte = 1
 	}
-	return &medium{eng: eng, cyclesPer8: cyclesPerByte, prop: prop}
+	return &medium{eng: eng, cyclesPer8: cyclesPerByte, prop: prop} //escort:coldpath constructor, topology setup
 }
 
 // transmit schedules deliver at the time the frame finishes arriving.
@@ -148,11 +152,15 @@ type Hub struct {
 }
 
 // NewHub returns a hub with the given bandwidth and propagation delay.
+//
+//escort:coldpath constructor, topology setup
 func NewHub(eng *sim.Engine, bitsPerSec uint64, prop sim.Cycles) *Hub {
 	return &Hub{eng: eng, med: newMedium(eng, bitsPerSec, prop)}
 }
 
 // Attach implements Segment.
+//
+//escort:coldpath topology setup, once per NIC
 func (h *Hub) Attach(n *NIC) {
 	h.nics = append(h.nics, n)
 	n.seg = h
@@ -160,7 +168,7 @@ func (h *Hub) Attach(n *NIC) {
 
 // Send implements Segment.
 func (h *Hub) Send(src *NIC, f Frame) {
-	h.med.transmit(len(f.Data), func() {
+	h.med.transmit(len(f.Data), func() { //escort:coldpath per-frame delivery closure; needs an arg-carrying engine callback to remove (ROADMAP: allocation-free packet path)
 		for _, n := range h.nics {
 			if n != src {
 				n.deliver(f)
@@ -187,11 +195,15 @@ type swPort struct {
 }
 
 // NewSwitch returns a switch whose ports run at the given speed.
+//
+//escort:coldpath constructor, topology setup
 func NewSwitch(eng *sim.Engine, bitsPerSec uint64, prop sim.Cycles) *Switch {
 	return &Switch{eng: eng, bps: bitsPerSec, prop: prop, table: make(map[MAC]*swPort)}
 }
 
 // Attach implements Segment.
+//
+//escort:coldpath topology setup, once per NIC
 func (s *Switch) Attach(n *NIC) {
 	p := &swPort{
 		nic:     n,
@@ -208,7 +220,7 @@ type portSegment struct{ p *swPort }
 // Send implements Segment: station -> switch, then forward.
 func (ps portSegment) Send(src *NIC, f Frame) {
 	p := ps.p
-	p.fromNIC.transmit(len(f.Data), func() {
+	p.fromNIC.transmit(len(f.Data), func() { //escort:coldpath per-frame delivery closure; see Hub.Send
 		p.sw.forward(p, f)
 	})
 }
@@ -218,7 +230,7 @@ func (s *Switch) forward(in *swPort, f Frame) {
 	if f.Dst != Broadcast {
 		if out, ok := s.table[f.Dst]; ok {
 			if out != in {
-				out.toNIC.transmit(len(f.Data), func() { out.nic.deliver(f) })
+				out.toNIC.transmit(len(f.Data), func() { out.nic.deliver(f) }) //escort:coldpath per-frame delivery closure; see Hub.Send
 			}
 			return
 		}
@@ -229,7 +241,7 @@ func (s *Switch) forward(in *swPort, f Frame) {
 			continue
 		}
 		out := out
-		out.toNIC.transmit(len(f.Data), func() { out.nic.deliver(f) })
+		out.toNIC.transmit(len(f.Data), func() { out.nic.deliver(f) }) //escort:coldpath per-frame delivery closure; see Hub.Send
 	}
 }
 
@@ -241,6 +253,8 @@ type Bridge struct {
 }
 
 // NewBridge creates the two bridge NICs and attaches them.
+//
+//escort:coldpath constructor, topology setup
 func NewBridge(name string, segA, segB Attacher, macA, macB MAC) *Bridge {
 	br := &Bridge{
 		a: NewNIC(name+":a", macA),

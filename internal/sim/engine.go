@@ -118,6 +118,8 @@ type Engine struct {
 }
 
 // New returns an engine with the clock at zero.
+//
+//escort:coldpath constructor, once per simulation
 func New() *Engine {
 	return &Engine{}
 }
@@ -125,6 +127,8 @@ func New() *Engine {
 // NewHeapOnly returns an engine that schedules exclusively through the
 // binary heap, bypassing the timer wheel. Fire order is identical to New;
 // the equivalence property test runs the two side by side.
+//
+//escort:coldpath constructor, test-only equivalence configuration
 func NewHeapOnly() *Engine {
 	return &Engine{heapOnly: true}
 }
@@ -193,7 +197,7 @@ func (e *Engine) Cancel(h Event) bool {
 func (e *Engine) alloc() *event {
 	ev := e.free
 	if ev == nil {
-		return &event{idx: -1}
+		return &event{idx: -1} //escort:coldpath freelist miss: pool growth, amortized to zero in steady state
 	}
 	e.free = ev.next
 	ev.next = nil

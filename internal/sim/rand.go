@@ -11,6 +11,8 @@ type Rand struct {
 
 // NewRand returns a generator seeded with seed (zero is remapped, since an
 // all-zero xorshift state is a fixed point).
+//
+//escort:coldpath constructor, once per seeded stream
 func NewRand(seed uint64) *Rand {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
