@@ -1,21 +1,52 @@
 // Command benchjson converts the text output of `go test -bench` (with
 // -benchmem) on stdin into a machine-readable JSON document on stdout.
 // `make bench` pipes the repository's benchmark suites through it to
-// produce BENCH_3.json: conn/s per figure point, whole-host sims/sec
+// produce BENCH_N.json: conn/s per figure point, whole-host sims/sec
 // for the sweep runner, and ns/op + allocs/op for the engine hot path.
 //
 // The parser accepts concatenated output from several `go test -bench`
 // invocations: each "pkg:" header applies to the benchmark lines that
 // follow it, and goos/goarch/cpu headers are recorded once.
+//
+// A second mode checks parity between two documents:
+//
+//	benchjson -compare OLD.json NEW.json
+//
+// Every benchmark present in OLD must exist in NEW with allocs/op and
+// B/op within the structural tolerance (these are deterministic
+// per-iteration counts — they move only when code changes allocation
+// behavior) and the throughput/latency metrics (conn/s, sims/sec,
+// ns/op, ...) within the noise tolerance. The gate is directional:
+// improvements (lower cost, higher rate) always pass — a leak fix
+// that cuts B/op must not fail the build — while regressions beyond
+// tolerance do. Exit status 1 on any violation, with one line per
+// offending metric.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+)
+
+// Parity tolerances for -compare. Structural metrics (allocs/op,
+// B/op) are per-iteration counts and barely move, so they get a tight
+// gate. Of the remaining metrics, the simulated rates (conn/s,
+// sims/sec's numerator) are byte-deterministic — any drift at all is a
+// behavior change and even a loose relative gate catches it — while
+// the wall-clock ones (ns/op, sims/sec) swing by tens of percent
+// run-to-run on shared CPUs; their gate is wide on purpose, catching
+// only gross regressions (an accidental complexity blowup), not
+// machine weather.
+const (
+	structuralTol = 0.02 // ±2 % relative
+	structuralAbs = 2.0  // ...or ±2 absolute on tiny counts
+	noiseTol      = 0.50 // ±50 % relative on timed metrics
 )
 
 // Benchmark is one result line: the benchmark's name (including the
@@ -44,6 +75,19 @@ type Doc struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two BENCH_N.json documents: benchjson -compare OLD NEW")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := compareDocs(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -55,6 +99,103 @@ func main() {
 		os.Exit(1)
 	}
 	os.Stdout.Write(append(out, '\n'))
+}
+
+// compareDocs checks NEW against OLD benchmark by benchmark.
+func compareDocs(oldPath, newPath string) error {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return err
+	}
+	index := make(map[string]*Benchmark, len(newDoc.Benchmarks))
+	for i := range newDoc.Benchmarks {
+		b := &newDoc.Benchmarks[i]
+		index[b.Pkg+" "+b.Name] = b
+	}
+	var violations []string
+	for i := range oldDoc.Benchmarks {
+		ob := &oldDoc.Benchmarks[i]
+		nb, ok := index[ob.Pkg+" "+ob.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s %s: missing from %s", ob.Pkg, ob.Name, newPath))
+			continue
+		}
+		for unit, ov := range ob.Metrics {
+			nv, ok := nb.Metrics[unit]
+			if !ok {
+				violations = append(violations,
+					fmt.Sprintf("%s %s: metric %s missing", ob.Pkg, ob.Name, unit))
+				continue
+			}
+			if msg := checkMetric(unit, ov, nv); msg != "" {
+				violations = append(violations,
+					fmt.Sprintf("%s %s: %s", ob.Pkg, ob.Name, msg))
+			}
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("parity check %s vs %s failed:\n  %s",
+			oldPath, newPath, strings.Join(violations, "\n  "))
+	}
+	fmt.Printf("parity ok: %d benchmarks in %s match %s\n",
+		len(oldDoc.Benchmarks), newPath, oldPath)
+	return nil
+}
+
+// lowerIsBetter classifies a metric's good direction: per-op costs
+// regress upward, rates (conn/s, sims/sec, MB/s, ...) regress
+// downward.
+func lowerIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/op")
+}
+
+// checkMetric applies the tolerance for one metric; "" means within
+// bounds. allocs/op and B/op are structural; everything else is timed.
+// Only regressions are flagged — movement in the good direction passes
+// at any magnitude.
+func checkMetric(unit string, ov, nv float64) string {
+	if lowerIsBetter(unit) && nv <= ov {
+		return ""
+	}
+	if !lowerIsBetter(unit) && nv >= ov {
+		return ""
+	}
+	structural := unit == "allocs/op" || unit == "B/op"
+	if structural {
+		if math.Abs(nv-ov) <= structuralAbs {
+			return ""
+		}
+		if ov != 0 && math.Abs(nv-ov)/math.Abs(ov) <= structuralTol {
+			return ""
+		}
+		return fmt.Sprintf("%s regressed %.1f -> %.1f (structural tolerance ±%.0f%% / ±%.0f)",
+			unit, ov, nv, structuralTol*100, structuralAbs)
+	}
+	if ov == 0 {
+		return ""
+	}
+	if math.Abs(nv-ov)/math.Abs(ov) <= noiseTol {
+		return ""
+	}
+	return fmt.Sprintf("%s regressed %.4g -> %.4g (noise tolerance ±%.0f%%)",
+		unit, ov, nv, noiseTol*100)
+}
+
+func loadDoc(path string) (Doc, error) {
+	var doc Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
 }
 
 func parse(sc *bufio.Scanner) (Doc, error) {

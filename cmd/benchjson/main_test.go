@@ -57,6 +57,41 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestCheckMetric pins the parity gate's directionality: improvements
+// pass at any magnitude, regressions fail past their tolerance.
+func TestCheckMetric(t *testing.T) {
+	cases := []struct {
+		unit    string
+		ov, nv  float64
+		wantHit bool
+	}{
+		// Structural cost metrics: big improvement passes, tiny jitter
+		// passes, regression past ±2%/±2 fails.
+		{"B/op", 2044321, 1997723, false}, // -2.3% improvement: pass
+		{"allocs/op", 100, 101, false},    // within ±2 absolute
+		{"allocs/op", 100, 103, true},     // +3 and +3%: regression
+		{"B/op", 1000000, 1025000, true},  // +2.5%: regression
+		{"B/op", 1000000, 1015000, false}, // +1.5%: inside tolerance
+		// Timed cost metrics: faster always passes, ±50% on slower.
+		{"ns/op", 100, 50, false},
+		{"ns/op", 100, 140, false},
+		{"ns/op", 100, 160, true},
+		// Rate metrics: higher always passes, -50% fails.
+		{"conn/s", 800, 900, false},
+		{"conn/s", 800, 700, false},
+		{"sims/sec", 30, 14, true},
+		// A zero old rate can't be judged relatively.
+		{"sims/sec", 0, 0.1, false},
+	}
+	for _, c := range cases {
+		msg := checkMetric(c.unit, c.ov, c.nv)
+		if got := msg != ""; got != c.wantHit {
+			t.Errorf("checkMetric(%q, %v, %v) = %q, want violation=%v",
+				c.unit, c.ov, c.nv, msg, c.wantHit)
+		}
+	}
+}
+
 func TestParseSkipsMalformedBenchmarkLines(t *testing.T) {
 	in := "BenchmarkLog output from a benchmark\nBenchmarkOdd-1 3 fields\n"
 	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))

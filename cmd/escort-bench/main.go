@@ -8,11 +8,19 @@
 //	escort-bench -exp fig8|table1|table2|fig9|fig10|fig11|all [-scale quick|paper]
 //	             [-parallel=false] [-trace base.json] [-metrics base.csv]
 //	             [-faults spec]
+//	escort-bench -scenario slowloris|portscan|bruteforce|ackfinflood|memthrash|all
 //
 // -faults applies a deterministic fault spec (see ROBUSTNESS.md for the
 // grammar) to every figure run: network faults on both segments, the
 // named failpoints in the kernel, and the degradation knobs (watchdog,
 // shedding) in the server. Table runs stay fault-free.
+//
+// -scenario runs one attack scenario (or the whole library) from
+// internal/scenario instead of the figure sweeps: a fault-armed
+// baseline, the attacked run, containment assertions, and a JSON
+// report with the three detection-quality metrics (time-to-detect,
+// false-kill rate, goodput retained). See ROBUSTNESS.md "Scenario
+// catalog" and EXPERIMENTS.md for a worked example.
 //
 // Figure sweeps fan their points across one worker per CPU by default;
 // every point is an independent simulation, so -parallel=false produces
@@ -27,16 +35,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/experiment/runner"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 // sinkFor derives the per-run filename <base>-<label><ext> and opens
@@ -59,7 +70,13 @@ func main() {
 	traceBase := flag.String("trace", "", "write per-run Chrome trace JSON files derived from this base path")
 	metricsBase := flag.String("metrics", "", "write per-run metrics CSV files derived from this base path")
 	faultSpec := flag.String("faults", "", "fault spec applied to figure runs, e.g. 'seed=7,drop=0.01,fp:kmem.alloc=p0.001,watchdog' (see ROBUSTNESS.md)")
+	scen := flag.String("scenario", "", "run one attack scenario from the library (or 'all') and print its detection-quality report")
 	flag.Parse()
+
+	if *scen != "" {
+		runScenarios(*scen)
+		return
+	}
 
 	var sc experiment.Scale
 	switch *scaleName {
@@ -171,4 +188,36 @@ func main() {
 		fmt.Print(experiment.FormatFig11(rows, clients))
 		return nil
 	})
+}
+
+// runScenarios executes the named attack scenario (or the whole
+// library) and prints each report as JSON. A failed containment
+// assertion or a missed detection exits non-zero.
+func runScenarios(name string) {
+	list := scenario.All
+	if name != "all" {
+		s, ok := scenario.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "escort-bench: unknown scenario %q (have: %s, all)\n",
+				name, strings.Join(scenario.Names(), ", "))
+			os.Exit(2)
+		}
+		list = []*scenario.Scenario{s}
+	}
+	for _, s := range list {
+		start := time.Now()
+		fmt.Printf("==== scenario %s ====\n%s\n", s.Name, s.Desc)
+		res, err := scenario.Run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "escort-bench: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "escort-bench: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(out, '\n'))
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", s.Name, time.Since(start).Seconds())
+	}
 }

@@ -177,6 +177,10 @@ type Server struct {
 	// Watchdog is the hung-path detector when Options.Faults enabled it.
 	Watchdog *policy.Watchdog
 
+	// Reaper is the idle/slow-session reaper when Options.Faults
+	// enabled it.
+	Reaper *policy.SessionReaper
+
 	// Obs holds the live observability sinks built from Options.Obs.
 	// Call Obs.Close() after the run to flush the trace and metrics
 	// exports; it is nil-safe and idempotent.
@@ -334,6 +338,15 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 		s.TCP.Shed = func() bool {
 			return float64(pages.InUse()) >= mark*float64(pages.TotalPages())
 		}
+	}
+	if opt.Faults != nil && opt.Faults.PuzzleBits > 0 {
+		// The puzzle gate refines shedding: instead of refusing every
+		// new connection under pressure, admit the ones that pay.
+		s.TCP.Puzzle = &tcpmod.PuzzleGate{Bits: opt.Faults.PuzzleBits}
+	}
+	if opt.Faults != nil && opt.Faults.Reaper && accounting {
+		s.Reaper = policy.EnableSessionReaper(k, mgr, s.TCP,
+			policy.ReaperConfig{MinAge: opt.Faults.ReaperMinAge})
 	}
 
 	if err := g.Init(mgr, mgr.DeliverInbound); err != nil {

@@ -107,6 +107,16 @@ type Options struct {
 	Model *cost.Model
 	// Scheduler overrides the thread scheduler (ablation studies).
 	Scheduler string
+	// PenaltyBox routes previously-offending sources to a demoted
+	// passive path (§4.4.4); the attack scenarios assert strike
+	// bookkeeping through it.
+	PenaltyBox bool
+	// FSCacheBudget overrides the server's block-cache budget in bytes
+	// (zero: the server default). The memory-thrash scenario shrinks it
+	// below its document set so every hostile fetch evicts.
+	FSCacheBudget int
+	// ExtraDocs adds documents beyond the standard three (§4.1.2 set).
+	ExtraDocs map[string][]byte
 	// Obs selects observability sinks for the Escort server (ignored
 	// for the Linux baseline, which has no Escort kernel to observe).
 	Obs *obs.Config
@@ -136,8 +146,12 @@ func NewTestbed(cfg Config, opt Options) (*Testbed, error) {
 		tb.hubAt = tb.Inj.WrapAttacher(hub)
 		tb.swAt = tb.Inj.WrapAttacher(sw)
 	}
+	docs := Docs()
+	for name, content := range opt.ExtraDocs {
+		docs[name] = content
+	}
 	if cfg == ConfigLinux {
-		tb.Linux = linuxsim.New(eng, tb.Model, tb.hubAt, escort.ServerIP, escort.ServerMAC, Docs())
+		tb.Linux = linuxsim.New(eng, tb.Model, tb.hubAt, escort.ServerIP, escort.ServerMAC, docs)
 		return tb, nil
 	}
 	var kind escort.Kind
@@ -153,11 +167,13 @@ func NewTestbed(cfg Config, opt Options) (*Testbed, error) {
 	}
 	srv, err := escort.NewServer(eng, tb.Model, tb.hubAt, escort.Options{
 		Kind:            kind,
-		Docs:            Docs(),
+		Docs:            docs,
 		SynCapUntrusted: opt.SynCapUntrusted,
 		QoSRateBps:      opt.QoSRateBps,
 		Scheduler:       opt.Scheduler,
 		PathFinder:      opt.PathFinder,
+		PenaltyBox:      opt.PenaltyBox,
+		FSCacheBudget:   opt.FSCacheBudget,
 		Obs:             opt.Obs,
 		Faults:          opt.Faults,
 	})
@@ -187,6 +203,15 @@ func (tb *Testbed) MetricsSamples() []obs.Sample {
 	}
 	return tb.Escort.Obs.Metrics.Samples()
 }
+
+// HubAttach returns the hub-side attach point (injector-wrapped when
+// network faults are configured) — the untrusted segment attackers
+// join in the Figure 7 topology.
+func (tb *Testbed) HubAttach() netsim.Attacher { return tb.hubAt }
+
+// SwitchAttach returns the switch-side attach point, the trusted
+// segment the best-effort clients live on.
+func (tb *Testbed) SwitchAttach() netsim.Attacher { return tb.swAt }
 
 // ClientThink models the per-request client-side turnaround of the
 // paper's PentiumPro stations (request construction, their own kernel's

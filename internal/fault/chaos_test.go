@@ -138,6 +138,12 @@ var chaosScenarios = []struct {
 	// its own test below: the server must refuse to start, not panic).
 	{"failpoints", "seed=16,fp:kmem.alloc=p0.02,fp:thread.spawn=n25,fp:iobuf.grant=p0.01"},
 	{"kitchen-sink", "seed=17,drop=0.01,corrupt=0.01,dup=0.02,jitter=0.2:1ms,fp:kmem.alloc=p0.01,watchdog,shed=0.95"},
+	// The scenario library's degradation knobs under a lossy network:
+	// the session reaper scanning while segments drop, and the
+	// shed-pressure client puzzle armed (dormant until pressure, but
+	// parsed, wired and charged like every other knob).
+	{"reaper", "seed=18,drop=0.01,reaper=250ms"},
+	{"puzzle-shed", "seed=19,drop=0.01,shed=0.95,puzzle=10"},
 }
 
 func TestChaosMatrix(t *testing.T) {

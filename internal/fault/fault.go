@@ -26,6 +26,22 @@ import (
 // with errors.Is.
 var ErrInjected = errors.New("fault: injected failure")
 
+// KnownFailpoints lists every failpoint name compiled into the kernel,
+// in sorted order. ParseSpec validates fp: entries against it: a
+// typo'd site name would otherwise arm a point nothing ever consults,
+// and the chaos run would silently test less than its spec claims.
+var KnownFailpoints = []string{"iobuf.grant", "kmem.alloc", "thread.spawn"}
+
+// KnownFailpoint reports whether name is a compiled-in failpoint.
+func KnownFailpoint(name string) bool {
+	for _, k := range KnownFailpoints {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Trigger arms a failpoint. Both conditions may be set; the point
 // fails when either holds.
 type Trigger struct {

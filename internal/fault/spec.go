@@ -29,6 +29,16 @@ type Spec struct {
 	// the page pool in use (0 disables; e.g. 0.9 sheds new connections
 	// above 90% memory pressure).
 	Shed float64
+	// Reaper enables the idle/slow-session reaper; ReaperMinAge
+	// overrides the minimum established age before a session is judged
+	// (zero = the policy default).
+	Reaper       bool
+	ReaperMinAge sim.Cycles
+	// PuzzleBits arms the client-puzzle fast-reject gate on the passive
+	// path: under shed pressure, SYNs whose initial sequence number does
+	// not prove ~2^bits of client hash work are rejected cheaply instead
+	// of shed wholesale (zero disables the gate).
+	PuzzleBits uint
 }
 
 // PointSpec names a failpoint and its trigger.
@@ -81,6 +91,8 @@ func (s *Spec) NewSet() *Set {
 //	fp:NAME=pP              failpoint NAME fails with probability P
 //	watchdog[=STALL]        enable the hung-path watchdog
 //	shed=FRAC               shed new connections above FRAC page use
+//	reaper[=MINAGE]         enable the idle/slow-session reaper
+//	puzzle=BITS             client-puzzle SYN gate under shed pressure
 //
 // Durations accept us/ms/s suffixes; a bare number is virtual cycles.
 // The empty string parses to nil (no faults).
@@ -105,6 +117,10 @@ func ParseSpec(spec string) (*Spec, error) {
 
 func (s *Spec) apply(key, val string, hasVal bool) error {
 	if name, ok := strings.CutPrefix(key, "fp:"); ok {
+		if !KnownFailpoint(name) {
+			return fmt.Errorf("unknown failpoint %q (registered failpoints: %s)",
+				name, strings.Join(KnownFailpoints, ", "))
+		}
 		trig, err := parseTrigger(val)
 		if err != nil {
 			return err
@@ -199,6 +215,21 @@ func (s *Spec) apply(key, val string, hasVal bool) error {
 			return fmt.Errorf("shed fraction %v outside (0, 1]", f)
 		}
 		s.Shed = f
+	case "reaper":
+		s.Reaper = true
+		if hasVal && val != "" {
+			d, err := parseDuration(val)
+			if err != nil {
+				return err
+			}
+			s.ReaperMinAge = d
+		}
+	case "puzzle":
+		n, err := strconv.ParseUint(val, 10, 8)
+		if err != nil || n == 0 || n > 24 {
+			return fmt.Errorf("puzzle bits %q outside [1, 24]", val)
+		}
+		s.PuzzleBits = uint(n)
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}

@@ -35,7 +35,10 @@ func (h *Hash) MemSize() int {
 	return len(h.buckets)*8 + h.count*32
 }
 
-func mix(k uint64) uint64 {
+// Mix64 is the table's 64-bit finalizer, exported for callers that
+// need the same cheap, well-distributed hash outside the table (the
+// client-puzzle check hashes the SYN's source/sequence pair with it).
+func Mix64(k uint64) uint64 {
 	k ^= k >> 33
 	k *= 0xFF51AFD7ED558CCD
 	k ^= k >> 33
@@ -45,7 +48,7 @@ func mix(k uint64) uint64 {
 }
 
 func (h *Hash) bucket(key uint64) int {
-	return int(mix(key) & uint64(len(h.buckets)-1))
+	return int(Mix64(key) & uint64(len(h.buckets)-1))
 }
 
 // Put stores value under key, replacing any existing entry. It reports

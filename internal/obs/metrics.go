@@ -37,6 +37,13 @@ type Metrics struct {
 	faults  *FaultRegistry
 	next    sim.Cycles
 	samples []Sample
+
+	// OnSample, when non-nil, observes each sample as it is taken. The
+	// scenario harness rides this hook: detection-quality metrics
+	// (time-to-detect and friends) are computed on the same 10 ms
+	// cadence as the per-owner series, instead of a second timer wheel.
+	// The callback must not mutate the sample or charge cycles.
+	OnSample func(Sample)
 }
 
 func newMetrics(csv, jsonW io.Writer, interval sim.Cycles, group func(string) string) *Metrics {
@@ -122,6 +129,9 @@ func (m *Metrics) sample(now sim.Cycles) {
 		}
 	}
 	m.samples = append(m.samples, s)
+	if m.OnSample != nil {
+		m.OnSample(s)
+	}
 }
 
 // Samples returns the recorded series (nil on a nil receiver). The

@@ -1,0 +1,137 @@
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/module"
+	"repro/internal/path"
+	"repro/internal/proto/tcp"
+	"repro/internal/sim"
+)
+
+// Session-reaper defaults. The trickle threshold is calibrated against
+// the cost model: a legitimate request/response connection moves its
+// bytes for a few tens of charged cycles each, while a held-open
+// session keeps paying setup, timer and per-segment costs against a
+// byte count that barely moves — slowloris-style holders sit orders of
+// magnitude above the threshold, ordinary slow clients do not.
+const (
+	// DefaultReaperMinAge is the minimum established age before a
+	// session is judged at all: every legitimate request in the Figure 8
+	// workload completes well inside it.
+	DefaultReaperMinAge = 500 * sim.CyclesPerMillisecond
+	// DefaultReaperCyclesPerByte is the asymmetry threshold: an
+	// established session older than MinAge whose owner has burned more
+	// than this many cycles per payload byte is a trickle.
+	DefaultReaperCyclesPerByte = 2000
+)
+
+// ReaperConfig tunes the idle/slow-session reaper (see ROBUSTNESS.md).
+type ReaperConfig struct {
+	// MinAge is the minimum established age before a session is judged
+	// (zero: DefaultReaperMinAge).
+	MinAge sim.Cycles
+	// MaxCyclesPerByte is the trickle threshold (zero:
+	// DefaultReaperCyclesPerByte).
+	MaxCyclesPerByte sim.Cycles
+	// Interval is the scan period (zero: MinAge/4).
+	Interval sim.Cycles
+}
+
+// SessionSource is the connection-table view the reaper scans;
+// *tcp.Module implements it.
+type SessionSource interface {
+	EachConn(func(tcp.ConnStats))
+}
+
+// SessionReaper is the low-and-slow counterpart of the watchdog: the
+// watchdog hunts paths with queued work and no progress, the reaper
+// hunts established sessions with age and no bytes. Detection is the
+// ledger's cycles-per-byte asymmetry — exactly the data-driven signal
+// volume thresholds miss, because a slowloris holder is quiet, not
+// loud. Escalation reuses the existing ladder: demote the session's
+// allocation first, pathKill it a scan later, and let the kill feed
+// the penalty box through the module's offender report.
+type SessionReaper struct {
+	k   *kernel.Kernel
+	mgr *path.Manager
+	src SessionSource
+	cfg ReaperConfig
+
+	demoted map[module.PathRef]bool
+
+	// Demotions and Kills count escalations; ReclaimedCycles totals the
+	// pathKill teardown cost.
+	Demotions       uint64
+	Kills           uint64
+	ReclaimedCycles sim.Cycles
+}
+
+// EnableSessionReaper arms the reaper on its own owner, so its scan
+// cost is a distinct ledger row like the watchdog's and the TCP master
+// event's.
+func EnableSessionReaper(k *kernel.Kernel, mgr *path.Manager, src SessionSource, cfg ReaperConfig) *SessionReaper {
+	if cfg.MinAge == 0 {
+		cfg.MinAge = DefaultReaperMinAge
+	}
+	if cfg.MaxCyclesPerByte == 0 {
+		cfg.MaxCyclesPerByte = DefaultReaperCyclesPerByte
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = cfg.MinAge / 4
+	}
+	r := &SessionReaper{k: k, mgr: mgr, src: src, cfg: cfg,
+		demoted: make(map[module.PathRef]bool)}
+	owner := k.NewOwner("Session Reaper", core.DomainOwner)
+	k.RegisterEvent(owner, "Session Reaper", cfg.Interval, cfg.Interval, r.scan)
+	return r
+}
+
+// scan walks the connection table; demotion state is rebuilt each pass
+// so dead paths cannot pin entries.
+func (r *SessionReaper) scan(ctx *kernel.Ctx) {
+	model := r.k.Model()
+	ctx.Use(model.EventOp)
+	now := ctx.Now()
+	tr := r.k.Tracer()
+	next := make(map[module.PathRef]bool, len(r.demoted))
+	r.src.EachConn(func(cs tcp.ConnStats) {
+		ctx.Use(model.AccountingOp)
+		if cs.State != tcp.StateEstablished || !cs.Path.Alive() {
+			return
+		}
+		if now-cs.Since < r.cfg.MinAge {
+			return
+		}
+		owner := cs.Path.PathOwner()
+		if owner == nil {
+			return
+		}
+		bytes := cs.BytesIn + cs.BytesOut
+		if bytes > 0 && owner.Counters.Cycles < r.cfg.MaxCyclesPerByte*sim.Cycles(bytes) {
+			return // moving bytes at a sane cost: leave it alone
+		}
+		p, ok := cs.Path.(*path.Path)
+		if !ok {
+			return
+		}
+		if !r.demoted[cs.Path] {
+			DemotePriority(p)
+			r.Demotions++
+			next[cs.Path] = true
+			if tr != nil {
+				tr.Policy("reaperDemote", p.PathName(), "", now)
+			}
+			return
+		}
+		// Still trickling a scan after demotion: reclaim. The kill path
+		// reports the source as an offender (tcp.Module.reapKilled →
+		// OnOffender), so repeat holders land in the penalty box.
+		r.Kills++
+		r.ReclaimedCycles += r.mgr.Kill(p)
+		if tr != nil {
+			tr.Policy("reaperKill", p.PathName(), "", r.k.Engine().Now())
+		}
+	})
+	r.demoted = next
+}

@@ -43,6 +43,12 @@ type Module struct {
 	CGIRequests    uint64
 	NotFound       uint64
 	StreamsStarted uint64
+
+	// AuthFailures counts rejected /login attempts. The emulated login
+	// endpoint refuses every scripted credential, so the counter is the
+	// server-visible signature of a brute-force attack: legitimate
+	// traffic barely moves it, credential stuffing races it upward.
+	AuthFailures uint64
 }
 
 // New returns an HTTP module whose open walk continues at tcpName.
@@ -132,6 +138,13 @@ func (s *stage) Deliver(ctx *kernel.Ctx, dir module.Direction, mm *msg.Msg) (boo
 		s.mod.StreamsStarted++
 		s.startStream(ctx)
 		return false, nil
+	case strings.HasPrefix(target, "/login"):
+		// The login endpoint of the brute-force scenarios: password
+		// checking costs real work (the hash), and every scripted
+		// attempt fails.
+		ctx.Use(model.HTTPParse)
+		s.mod.AuthFailures++
+		return false, s.respond(ctx, "403 Forbidden", []byte("bad credentials"))
 	default:
 		return false, s.serveFile(ctx, target)
 	}

@@ -49,6 +49,11 @@ type conn struct {
 	synRecvdAt sim.Cycles
 	listener   *Listener
 	tcbCharged bool
+
+	// bytesIn/bytesOut count in-order payload through the connection;
+	// the session reaper judges cycles-per-byte asymmetry on them.
+	bytesIn  uint64
+	bytesOut uint64
 }
 
 // activeStage is the TCP stage of an active (connection) path.
@@ -116,6 +121,7 @@ func (c *conn) input(ctx *kernel.Ctx, mm *msg.Msg) (bool, error) {
 	if payloadLen > 0 {
 		if h.Seq == c.rcvNxt {
 			c.rcvNxt += uint32(payloadLen)
+			c.bytesIn += uint64(payloadLen)
 			mm.Pop(dataOff)
 			forward = true
 		}
@@ -336,6 +342,7 @@ func (c *conn) sendSegment(ctx *kernel.Ctx, flags byte, seq uint32, payload *msg
 		mm = msg.New(c.path.PathOwner(), msg.DefaultHeadroom, 0)
 	}
 	body := append([]byte(nil), mm.Bytes()...)
+	c.bytesOut += uint64(len(body))
 	hdr := mm.Push(wire.TCPLen)
 	wire.PutTCP(hdr, wire.TCP{
 		SrcPort: c.localPort,

@@ -149,6 +149,19 @@ type Module struct {
 	Shed      func() bool
 	ShedCount uint64
 
+	// Puzzle, when non-nil, refines shedding into a client-puzzle gate:
+	// under shed pressure, SYNs carrying a puzzle solution are admitted
+	// and the rest are rejected at a constant verify cost (§4.4.1's
+	// drop policy with a pay-to-pass door).
+	Puzzle *PuzzleGate
+
+	// NoListener counts SYNs demultiplexed to ports nobody listens on
+	// (the port-scan signature); Strays counts non-SYN segments that
+	// match no connection (the ACK/FIN-flood signature). Both are demux
+	// outcome counters like Listener.DroppedSyn.
+	NoListener uint64
+	Strays     uint64
+
 	// RTO is the (fixed) retransmission timeout; SynRcvdTimeout reaps
 	// half-open connections; MasterPeriod is the master event interval.
 	RTO            sim.Cycles
@@ -401,7 +414,8 @@ func (m *Module) CreateStage(pb module.PathBuilder, attrs lib.Attrs) (module.Sta
 // connections resolve through the connection table; SYNs resolve to the
 // listener whose trust class matches the source address — and are
 // dropped right here, as early as possible, when the listener's
-// SYN_RECVD budget is exhausted. Demux is side-effect free.
+// SYN_RECVD budget is exhausted. Demux allocates nothing and charges
+// nothing; its only side effects are outcome counters.
 func (m *Module) Demux(dc *module.DemuxCtx, mm *msg.Msg) module.Verdict {
 	b := mm.Bytes()
 	if len(b) < wire.EthLen+wire.IPv4Len+wire.TCPLen {
@@ -424,6 +438,7 @@ func (m *Module) Demux(dc *module.DemuxCtx, mm *msg.Msg) module.Verdict {
 	if flags&wire.FlagSYN != 0 && flags&wire.FlagACK == 0 {
 		l := m.findListener(dstPort, srcIP)
 		if l == nil {
+			m.NoListener++
 			return module.Reject("tcp: no listener")
 		}
 		if l.SynCap > 0 && l.SynRecvd >= l.SynCap {
@@ -435,6 +450,7 @@ func (m *Module) Demux(dc *module.DemuxCtx, mm *msg.Msg) module.Verdict {
 		}
 		return module.Found(l.path)
 	}
+	m.Strays++
 	return module.Reject("tcp: no connection")
 }
 
@@ -486,11 +502,27 @@ func (s *passiveStage) Deliver(ctx *kernel.Ctx, dir module.Direction, mm *msg.Ms
 		return false, nil
 	}
 	if m.Shed != nil && m.Shed() {
-		m.ShedCount++
-		if tr := m.tracer; tr != nil {
-			tr.Policy("overloadShed", s.l.path.PathName(), s.l.TrustClass, m.k.Engine().Now())
+		// Under shed pressure a puzzle gate, when armed, replaces the
+		// blanket drop: the verify is charged to the passive path, and
+		// only SYNs proving client-side work get an active path.
+		if g := m.Puzzle; g != nil {
+			g.Checked++
+			ctx.Use(g.verifyCost())
+			if !wire.PuzzleSolved(mm.Net.SrcIP, h.Seq, g.Bits) {
+				g.Rejected++
+				if tr := m.tracer; tr != nil {
+					tr.Policy("puzzleReject", s.l.path.PathName(), s.l.TrustClass, m.k.Engine().Now())
+				}
+				return false, nil
+			}
+			g.Passed++
+		} else {
+			m.ShedCount++
+			if tr := m.tracer; tr != nil {
+				tr.Policy("overloadShed", s.l.path.PathName(), s.l.TrustClass, m.k.Engine().Now())
+			}
+			return false, nil
 		}
-		return false, nil
 	}
 	s.serial++
 	attrs := lib.Attrs{

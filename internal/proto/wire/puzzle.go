@@ -1,0 +1,41 @@
+package wire
+
+import "repro/internal/lib"
+
+// Client puzzles (the hashcash-style fast-reject defense): under shed
+// pressure the server stops admitting SYNs on trust alone and instead
+// demands proof of client-side work. The proof is carried in the SYN's
+// initial sequence number — a client "solves" the puzzle by searching
+// for an ISS whose hash against its own source address has the
+// required number of trailing zero bits. Verification is one 64-bit
+// hash; solving is ~2^bits attempts. The asymmetry is the defense: a
+// flood source must burn its own CPU per admitted SYN while the server
+// pays a constant, tiny verify cost per rejected one.
+//
+// The puzzle lives in the wire package because both ends of the
+// simulated network check the same predicate over on-the-wire header
+// fields; it carries no server state.
+
+// PuzzleSolved reports whether seq proves ~2^bits hash work for source
+// address srcIP. Zero bits means every SYN passes (the gate is off).
+func PuzzleSolved(srcIP, seq uint32, bits uint) bool {
+	if bits == 0 {
+		return true
+	}
+	h := lib.Mix64(uint64(srcIP)<<32 | uint64(seq))
+	return h&(1<<bits-1) == 0
+}
+
+// SolvePuzzle searches upward from start for a sequence number that
+// satisfies PuzzleSolved — the client-side work function. Stations
+// have no CPU model (the paper's clients are never the bottleneck), so
+// the search is free in virtual time; what the simulation prices is
+// the server-side verify, and what the attack scenarios exercise is
+// the admission asymmetry between solving and non-solving sources.
+func SolvePuzzle(srcIP, start uint32, bits uint) uint32 {
+	seq := start
+	for !PuzzleSolved(srcIP, seq, bits) {
+		seq++
+	}
+	return seq
+}

@@ -1,0 +1,38 @@
+package wire
+
+import "testing"
+
+func TestPuzzleSolveVerify(t *testing.T) {
+	for _, bits := range []uint{1, 4, 8, 12} {
+		seq := SolvePuzzle(0x0a000101, 99991, bits)
+		if !PuzzleSolved(0x0a000101, seq, bits) {
+			t.Fatalf("bits=%d: solved seq %d does not verify", bits, seq)
+		}
+		// The solution is bound to the source address: another client
+		// cannot replay it.
+		if PuzzleSolved(0x0a000102, seq, bits) && PuzzleSolved(0x0a000103, seq, bits) &&
+			PuzzleSolved(0x0a000104, seq, bits) {
+			t.Fatalf("bits=%d: solution verifies for every source", bits)
+		}
+	}
+}
+
+func TestPuzzleZeroBitsAlwaysPasses(t *testing.T) {
+	if !PuzzleSolved(1, 2, 0) {
+		t.Fatal("bits=0 must admit everything (gate disabled)")
+	}
+}
+
+func TestPuzzleRejectsUnsolvedTraffic(t *testing.T) {
+	// An attacker sending arbitrary sequence numbers should almost
+	// always fail a 10-bit puzzle (pass probability 2^-10 per SYN).
+	rejected := 0
+	for seq := uint32(0); seq < 1000; seq++ {
+		if !PuzzleSolved(0xc0a80909, seq*777, 10) {
+			rejected++
+		}
+	}
+	if rejected < 990 {
+		t.Fatalf("only %d/1000 unsolved SYNs rejected at 10 bits", rejected)
+	}
+}

@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/lib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestScenarioMatrix runs every registered scenario end to end:
+// baseline plus attacked run, containment invariants, detection and
+// goodput acceptance.
+func TestScenarioMatrix(t *testing.T) {
+	for _, s := range All {
+		t.Run(s.Name, func(t *testing.T) {
+			res, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: detected=%v ttd=%.0fms signal=%d goodput=%.2f (%d/%d) falseKills=%d pathKills=%d",
+				res.Scenario, res.Detected, res.TimeToDetectMs, res.DetectSignal,
+				res.GoodputRetained, res.AttackedCompleted, res.BaselineCompleted,
+				res.FalseKills, res.PathKills)
+		})
+	}
+}
+
+// TestScenarioDeterminism reruns each scenario's attacked leg and
+// requires byte-identical metrics CSV and equal outcomes — the seeded
+// attack workloads must not perturb the simulation's determinism.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, s := range All {
+		t.Run(s.Name, func(t *testing.T) {
+			a, err := runOnce(s, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := runOnce(s, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				ac, bc := a, b
+				ac.csv, bc.csv = "", ""
+				t.Fatalf("outcomes diverged:\n a=%+v\n b=%+v (csv equal: %v)",
+					ac, bc, a.csv == b.csv)
+			}
+			if a.csv != b.csv {
+				t.Fatal("metrics CSV bytes diverged between identically-seeded runs")
+			}
+			if a.csv == "" {
+				t.Fatal("no metrics CSV captured")
+			}
+		})
+	}
+}
+
+// TestScenariosSmoke is the CI soak target (make scenarios-smoke): the
+// attacked leg of every class under -race, detection asserted.
+func TestScenariosSmoke(t *testing.T) {
+	for _, s := range All {
+		t.Run(s.Class, func(t *testing.T) {
+			out, err := runOnce(s, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.detected {
+				t.Fatalf("attack not detected (signal %d, threshold %d)",
+					out.signal, s.DetectThreshold)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range Names() {
+		if _, ok := Lookup(name); !ok {
+			t.Fatalf("registry lists %q but Lookup misses it", name)
+		}
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Fatal("Lookup invented a scenario")
+	}
+}
+
+// TestPuzzleGateUnderShed forces shed pressure and checks the
+// client-puzzle fast-reject: stations that solve (legitimate clients)
+// get through, a SYN flood that refuses to pay is rejected on the
+// passive path at one hash of cost per segment.
+func TestPuzzleGateUnderShed(t *testing.T) {
+	sp, err := fault.ParseSpec("seed=41,puzzle=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := experiment.NewTestbed(experiment.ConfigAccounting,
+		experiment.Options{Faults: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force permanent shed pressure so the gate is active from the
+	// first SYN (the page-pool mark would need a real memory storm).
+	tb.Escort.TCP.Shed = func() bool { return true }
+	tb.AddClients(4, "/doc1k")
+	for _, c := range tb.Clients {
+		c.PuzzleBits = sp.PuzzleBits
+	}
+	syn := workload.NewSynAttacker(tb.Eng, tb.HubAttach(), "syn",
+		lib.IPv4(192, 168, 9, 9), netsim.MAC(0x0200_0000_9999),
+		0x0a000001, 1000, 4242)
+	syn.Start()
+
+	tb.RunFor(2 * sim.CyclesPerSecond)
+	syn.Stop()
+
+	g := tb.Escort.TCP.Puzzle
+	if g == nil {
+		t.Fatal("puzzle gate not armed by the fault spec")
+	}
+	if g.Passed == 0 {
+		t.Fatal("no solved SYN admitted: legitimate clients locked out")
+	}
+	if g.Rejected < 1000 {
+		t.Fatalf("rejected = %d; the unsolved flood should fail the gate", g.Rejected)
+	}
+	if got := tb.TotalCompleted(); got == 0 {
+		t.Fatal("no legitimate request completed through the gate")
+	}
+	// The flood must not complete handshakes.
+	if tb.Escort.TCP.Completed != tb.TotalCompleted() {
+		t.Fatalf("server completed %d conns, clients account for %d",
+			tb.Escort.TCP.Completed, tb.TotalCompleted())
+	}
+	tb.Close()
+}
+
+// TestWatchdogShedInteraction overlaps the watchdog with alternating
+// shed pressure: the ledger must stay balanced (no double charge
+// between the two mechanisms) and penalty-box strikes recorded before
+// a shed window must survive it.
+func TestWatchdogShedInteraction(t *testing.T) {
+	sp, err := fault.ParseSpec("seed=42,watchdog=40ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := experiment.NewTestbed(experiment.ConfigAccounting,
+		experiment.Options{Faults: sp, PenaltyBox: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shed pressure alternates in 250 ms windows, overlapping watchdog
+	// scans and CGI containment kills.
+	eng := tb.Eng
+	tb.Escort.TCP.Shed = func() bool {
+		return (eng.Now()/(250*sim.CyclesPerMillisecond))%2 == 1
+	}
+	tb.AddClients(4, "/doc1k")
+	tb.AddCGIAttackers(2)
+
+	before := tb.Escort.K.Ledger().Snapshot(eng.Now())
+	tb.RunFor(sim.CyclesPerSecond)
+
+	// Strikes recorded by the first kills...
+	cgiIP := lib.IPv4(10, 0, 200, 1)
+	mid := tb.Escort.Penalty.Strikes(cgiIP)
+	if mid == 0 {
+		t.Fatal("no penalty-box strike recorded before the overlap window")
+	}
+	tb.RunFor(2 * sim.CyclesPerSecond)
+	after := tb.Escort.K.Ledger().Snapshot(eng.Now())
+
+	// ...survive the shed windows: the box must never lose state while
+	// shedding refuses new connections.
+	if end := tb.Escort.Penalty.Strikes(cgiIP); end < mid {
+		t.Fatalf("strikes went backwards across shed overlap: %d -> %d", mid, end)
+	}
+	if tb.Escort.TCP.ShedCount == 0 {
+		t.Fatal("shed never fired; the overlap was not exercised")
+	}
+	if tb.Escort.Paths.Kills == 0 {
+		t.Fatal("no path killed; the overlap was not exercised")
+	}
+	// No double charge: every cycle accounted exactly once even with
+	// watchdog scans, containment kills and shed rejections interleaved.
+	if d := after.Diff(before); d.Unaccounted() != 0 {
+		t.Fatalf("unaccounted = %d of %d measured cycles", d.Unaccounted(), d.Measured)
+	}
+	tb.Close()
+}

@@ -29,8 +29,9 @@ type Client struct {
 	Failed       uint64
 	TotalLatency sim.Cycles
 
-	cur     *peerConn
-	stopped bool
+	cur       *peerConn
+	stopped   bool
+	timeoutEv sim.Event
 
 	// Timeout abandons a connection that stalls (the CGI attacker's
 	// requests never complete).
@@ -63,6 +64,11 @@ func (c *Client) next() {
 	req := []byte(fmt.Sprintf("GET %s HTTP/1.0\r\nHost: server\r\n\r\n", c.Doc))
 	start := c.Eng.Now()
 	conn := c.open(c.Port, req, nil, func(success bool) {
+		// Cancel the stall timeout: without this, every completed
+		// request would leave a long-dated stale timer queued, and a
+		// busy client accumulates hundreds of them.
+		c.Eng.Cancel(c.timeoutEv)
+		c.timeoutEv = sim.Event{}
 		if success {
 			c.Completed++
 			c.TotalLatency += c.Eng.Now() - start
@@ -77,7 +83,8 @@ func (c *Client) next() {
 	})
 	c.cur = conn
 	if c.Timeout > 0 {
-		c.Eng.After(c.Timeout, func() {
+		c.timeoutEv = c.Eng.After(c.Timeout, func() {
+			c.timeoutEv = sim.Event{}
 			if c.cur == conn && conn.state != pcDone && conn.state != pcFailed {
 				conn.abandon(false)
 			}
@@ -93,6 +100,43 @@ func (c *Client) MeanLatency() sim.Cycles {
 	return c.TotalLatency / sim.Cycles(c.Completed)
 }
 
+// Attacker is the common control surface of the hostile actors. The
+// scenario harness drives every attack class through it: Start after
+// warmup, Stop at the end of the measurement window, then a
+// teardown-quiescence check that PendingEvents reports zero — an
+// attacker must not leave timers ticking after it was told to stop.
+type Attacker interface {
+	Start()
+	Stop()
+	// PendingEvents counts the live timer handles the attacker still
+	// owns. Zero after Stop; the harness asserts exactly that.
+	PendingEvents() int
+}
+
+var (
+	_ Attacker = (*SynAttacker)(nil)
+	_ Attacker = (*CGIAttacker)(nil)
+	_ Attacker = (*SlowAttacker)(nil)
+	_ Attacker = (*PortScanner)(nil)
+	_ Attacker = (*BruteForcer)(nil)
+	_ Attacker = (*AckFlooder)(nil)
+	_ Attacker = (*MemThrasher)(nil)
+)
+
+// evCount counts the non-cancelled handles among evs. PendingEvents
+// implementations sum it over every timer the actor armed; the
+// discipline that makes the count honest is that each one-shot
+// callback zeroes its own handle field as its first action.
+func evCount(evs ...sim.Event) int {
+	n := 0
+	for _, ev := range evs {
+		if !ev.IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
 // SynAttacker floods the server with connection-initiation segments and
 // never completes a handshake (§4.1.2: 1000 SYN/s).
 type SynAttacker struct {
@@ -102,6 +146,7 @@ type SynAttacker struct {
 
 	Sent    uint64
 	stopped bool
+	tickEv  sim.Event
 	seq     uint32
 	srcPort uint16
 }
@@ -121,10 +166,18 @@ func (a *SynAttacker) Start() {
 	a.Resolve(a.tick)
 }
 
-// Stop ends the flood.
-func (a *SynAttacker) Stop() { a.stopped = true }
+// Stop ends the flood and cancels the queued tick.
+func (a *SynAttacker) Stop() {
+	a.stopped = true
+	a.Eng.Cancel(a.tickEv)
+	a.tickEv = sim.Event{}
+}
+
+// PendingEvents implements Attacker.
+func (a *SynAttacker) PendingEvents() int { return evCount(a.tickEv) }
 
 func (a *SynAttacker) tick() {
+	a.tickEv = sim.Event{}
 	if a.stopped || a.Rate == 0 {
 		return
 	}
@@ -136,7 +189,7 @@ func (a *SynAttacker) tick() {
 	a.sendTCP(a.srcPort, a.Port, wire.FlagSYN, a.seq, 0, nil)
 	a.Sent++
 	interval := sim.Cycles(uint64(sim.CyclesPerSecond) / a.Rate)
-	a.Eng.After(a.rng.Jitter(interval, 0.05), a.tick)
+	a.tickEv = a.Eng.After(a.rng.Jitter(interval, 0.05), a.tick)
 }
 
 // CGIAttacker issues one runaway-CGI request per second (§4.1.2); the
@@ -149,6 +202,20 @@ type CGIAttacker struct {
 
 	Launched uint64
 	stopped  bool
+	tickEv   sim.Event
+	// pending tracks outstanding requests and their abandon timers in
+	// launch order — a slice, not a map, so teardown cancels in a
+	// deterministic order (event-pool reuse order is part of the
+	// byte-determinism contract).
+	pending []*timedConn
+}
+
+// timedConn pairs an open connection with the one-shot timer that will
+// abandon it; attackers that keep request books (CGI, brute-force,
+// memory-thrash) use it so Stop can cancel both halves.
+type timedConn struct {
+	pc *peerConn
+	ev sim.Event
 }
 
 // NewCGIAttacker creates the attacker station.
@@ -165,10 +232,31 @@ func (a *CGIAttacker) Start() {
 	a.Resolve(a.tick)
 }
 
-// Stop ends the attack loop.
-func (a *CGIAttacker) Stop() { a.stopped = true }
+// Stop ends the attack loop, cancels every queued timer, and abandons
+// the outstanding requests.
+func (a *CGIAttacker) Stop() {
+	a.stopped = true
+	a.Eng.Cancel(a.tickEv)
+	a.tickEv = sim.Event{}
+	for _, tc := range a.pending {
+		a.Eng.Cancel(tc.ev)
+		tc.ev = sim.Event{}
+		tc.pc.abandon(false)
+	}
+	a.pending = nil
+}
+
+// PendingEvents implements Attacker.
+func (a *CGIAttacker) PendingEvents() int {
+	n := evCount(a.tickEv)
+	for _, tc := range a.pending {
+		n += evCount(tc.ev, tc.pc.retryEv, tc.pc.delackEv)
+	}
+	return n
+}
 
 func (a *CGIAttacker) tick() {
+	a.tickEv = sim.Event{}
 	if a.stopped {
 		return
 	}
@@ -178,10 +266,27 @@ func (a *CGIAttacker) tick() {
 	// The server never answers a runaway request. The attacker keeps
 	// normal TCP patience — on a heavily loaded server the request may
 	// take seconds to be accepted, and the attack must still land.
-	a.Eng.After(10*a.Interval, func() {
+	tc := &timedConn{pc: conn}
+	tc.ev = a.Eng.After(10*a.Interval, func() {
+		tc.ev = sim.Event{}
 		conn.abandon(false)
 	})
-	a.Eng.After(a.rng.Jitter(a.Interval, 0.05), a.tick)
+	a.pending = pruneTimedConns(append(a.pending, tc))
+	a.tickEv = a.Eng.After(a.rng.Jitter(a.Interval, 0.05), a.tick)
+}
+
+// pruneTimedConns drops book entries whose connection is finished and
+// whose timer has fired or been cancelled, preserving order.
+func pruneTimedConns(book []*timedConn) []*timedConn {
+	live := book[:0]
+	for _, tc := range book {
+		done := tc.pc.state == pcDone || tc.pc.state == pcFailed
+		if done && tc.ev.IsZero() {
+			continue
+		}
+		live = append(live, tc)
+	}
+	return live
 }
 
 // QoSReceiver opens the guaranteed-bandwidth stream (§4.1.2) and

@@ -1,0 +1,442 @@
+// Five attack classes beyond the §4.1.2 SYN flood and runaway CGI,
+// forming the scenario library's hostile cast (see ROBUSTNESS.md
+// "Scenario catalog"):
+//
+//   - SlowAttacker: slowloris-style partial-request holders that keep
+//     sessions established while trickling one byte per period.
+//   - PortScanner: a sequential SYN sweep across the port space; almost
+//     every probe misses a listener.
+//   - BruteForcer: scripted credential stuffing against /login.
+//   - AckFlooder: ACK (optionally ACK|FIN) segments that match no
+//     connection and die in demux.
+//   - MemThrasher: parallel fetches cycling through a document set
+//     larger than the FS cache, evicting the legitimate working set.
+//
+// Each class exercises a different server-side detection signal, and
+// each honours Stop(): every timer it arms is held as a pooled handle
+// and cancelled on teardown, with PendingEvents as the audit.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/proto/wire"
+	"repro/internal/sim"
+)
+
+// SlowAttacker holds many connections open with an unfinished request
+// header, then trickles one padding byte per period so the sessions
+// never idle out at the TCP layer. Each session costs the server kernel
+// memory, a path, and per-segment processing against a byte count that
+// barely moves — the cycles-per-byte asymmetry the session reaper
+// keys on.
+type SlowAttacker struct {
+	*Station
+	Conns   int        // sessions to hold open
+	Trickle sim.Cycles // padding-byte period per session
+	Port    uint16
+
+	// Opened counts sessions launched; TrickleSent counts padding bytes.
+	Opened      uint64
+	TrickleSent uint64
+
+	stopped bool
+	held    []*timedConn
+}
+
+// NewSlowAttacker creates the attacker station holding conns sessions.
+func NewSlowAttacker(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, conns int, seed uint64) *SlowAttacker {
+	a := &SlowAttacker{
+		Station: NewStation(eng, seg, name, ip, mac, serverIP, seed),
+		Conns:   conns,
+		Trickle: 200 * sim.CyclesPerMillisecond,
+		Port:    80,
+	}
+	// The request is deliberately incomplete; retransmitting it would
+	// only resend the same partial header.
+	a.ReqRetry = 0
+	return a
+}
+
+// Start opens the held sessions, trickle timers staggered across one
+// period so the padding bytes don't arrive as a burst.
+func (a *SlowAttacker) Start() {
+	a.Resolve(func() {
+		for i := 0; i < a.Conns; i++ {
+			a.openOne(i)
+		}
+	})
+}
+
+func (a *SlowAttacker) openOne(i int) {
+	// No trailing \r\n\r\n: the server's HTTP stage waits forever for
+	// the rest of the request.
+	header := []byte("GET /doc1k HTTP/1.0\r\nHost: server\r\nX-Pad: ")
+	tc := &timedConn{pc: a.open(a.Port, header, nil, nil)}
+	a.Opened++
+	a.held = append(a.held, tc)
+	stagger := a.Trickle + sim.Cycles(i)*a.Trickle/sim.Cycles(a.Conns)
+	a.armTrickle(tc, stagger)
+}
+
+func (a *SlowAttacker) armTrickle(tc *timedConn, d sim.Cycles) {
+	tc.ev = a.Eng.After(a.rng.Jitter(d, 0.05), func() {
+		tc.ev = sim.Event{}
+		if a.stopped {
+			return
+		}
+		pc := tc.pc
+		if pc.state == pcDone || pc.state == pcFailed {
+			return
+		}
+		if pc.state == pcEstablished {
+			// One padding byte. If the server has already killed the
+			// path the segment dies in demux as a stray — the attacker
+			// has no way to know, which is exactly the point.
+			a.sendTCP(pc.localPort, pc.remotePort, wire.FlagACK|wire.FlagPSH,
+				pc.sndNxt, pc.rcvNxt, []byte{'.'})
+			pc.sndNxt++
+			a.TrickleSent++
+		}
+		a.armTrickle(tc, a.Trickle)
+	})
+}
+
+// Stop cancels every trickle timer and abandons the held sessions.
+func (a *SlowAttacker) Stop() {
+	a.stopped = true
+	for _, tc := range a.held {
+		a.Eng.Cancel(tc.ev)
+		tc.ev = sim.Event{}
+		tc.pc.abandon(false)
+	}
+	a.held = nil
+}
+
+// PendingEvents implements Attacker.
+func (a *SlowAttacker) PendingEvents() int {
+	n := 0
+	for _, tc := range a.held {
+		n += evCount(tc.ev, tc.pc.retryEv, tc.pc.delackEv)
+	}
+	return n
+}
+
+// PortScanner sweeps SYN probes across [FirstPort, LastPort],
+// wrapping around until stopped. Nearly every probe hits a port with
+// no listener, so the sweep's server-side signature is the demux
+// NoListener counter racing ahead of everything else.
+type PortScanner struct {
+	*Station
+	Rate      uint64 // probes per second
+	FirstPort uint16
+	LastPort  uint16
+
+	Probes uint64
+
+	stopped bool
+	tickEv  sim.Event
+	next    uint16
+	seq     uint32
+	srcPort uint16
+}
+
+// NewPortScanner creates the attacker station sweeping the
+// conventional 1..1024 range at rate probes/second.
+func NewPortScanner(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, rate uint64, seed uint64) *PortScanner {
+	return &PortScanner{
+		Station:   NewStation(eng, seg, name, ip, mac, serverIP, seed),
+		Rate:      rate,
+		FirstPort: 1,
+		LastPort:  1024,
+		srcPort:   40000,
+	}
+}
+
+// Start begins the sweep.
+func (a *PortScanner) Start() {
+	a.Resolve(a.tick)
+}
+
+// Stop ends the sweep and cancels the queued probe.
+func (a *PortScanner) Stop() {
+	a.stopped = true
+	a.Eng.Cancel(a.tickEv)
+	a.tickEv = sim.Event{}
+}
+
+// PendingEvents implements Attacker.
+func (a *PortScanner) PendingEvents() int { return evCount(a.tickEv) }
+
+func (a *PortScanner) tick() {
+	a.tickEv = sim.Event{}
+	if a.stopped || a.Rate == 0 {
+		return
+	}
+	port := a.next
+	if port < a.FirstPort || port > a.LastPort {
+		port = a.FirstPort
+	}
+	a.next = port + 1
+	a.seq += 65537
+	a.srcPort++
+	if a.srcPort < 1024 {
+		a.srcPort = 1024
+	}
+	// A probe that does land on a listener (80, 81) leaves a half-open
+	// server connection behind, same as a SYN-flood segment; the
+	// scanner never answers the SYN-ACK.
+	a.sendTCP(a.srcPort, port, wire.FlagSYN, a.seq, 0, nil)
+	a.Probes++
+	interval := sim.Cycles(uint64(sim.CyclesPerSecond) / a.Rate)
+	a.tickEv = a.Eng.After(a.rng.Jitter(interval, 0.05), a.tick)
+}
+
+// BruteForcer stuffs scripted credentials into /login at a fixed
+// rate. Every attempt is a complete, individually cheap request — the
+// volume signal is the HTTP module's AuthFailures counter, not any
+// per-connection resource asymmetry.
+type BruteForcer struct {
+	*Station
+	Rate    uint64 // attempts per second
+	Port    uint16
+	Timeout sim.Cycles
+
+	// Attempts counts requests launched; Answered counts attempts the
+	// server actually rejected (403 received, connection closed clean).
+	Attempts uint64
+	Answered uint64
+
+	stopped  bool
+	tickEv   sim.Event
+	inflight []*timedConn
+}
+
+// NewBruteForcer creates the attacker station.
+func NewBruteForcer(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, rate uint64, seed uint64) *BruteForcer {
+	return &BruteForcer{
+		Station: NewStation(eng, seg, name, ip, mac, serverIP, seed),
+		Rate:    rate,
+		Port:    80,
+		Timeout: 2 * sim.CyclesPerSecond,
+	}
+}
+
+// Start begins the credential loop.
+func (a *BruteForcer) Start() {
+	a.Resolve(a.tick)
+}
+
+// Stop ends the loop, cancels every queued timer, and abandons the
+// in-flight attempts.
+func (a *BruteForcer) Stop() {
+	a.stopped = true
+	a.Eng.Cancel(a.tickEv)
+	a.tickEv = sim.Event{}
+	for _, tc := range a.inflight {
+		a.Eng.Cancel(tc.ev)
+		tc.ev = sim.Event{}
+		tc.pc.abandon(false)
+	}
+	a.inflight = nil
+}
+
+// PendingEvents implements Attacker.
+func (a *BruteForcer) PendingEvents() int {
+	n := evCount(a.tickEv)
+	for _, tc := range a.inflight {
+		n += evCount(tc.ev, tc.pc.retryEv, tc.pc.delackEv)
+	}
+	return n
+}
+
+func (a *BruteForcer) tick() {
+	a.tickEv = sim.Event{}
+	if a.stopped || a.Rate == 0 {
+		return
+	}
+	req := []byte(fmt.Sprintf(
+		"GET /login?user=admin&pass=%06d HTTP/1.0\r\nHost: server\r\n\r\n", a.Attempts))
+	a.Attempts++
+	tc := &timedConn{}
+	tc.pc = a.open(a.Port, req, nil, func(success bool) {
+		a.Eng.Cancel(tc.ev)
+		tc.ev = sim.Event{}
+		if success {
+			a.Answered++
+		}
+	})
+	tc.ev = a.Eng.After(a.Timeout, func() {
+		tc.ev = sim.Event{}
+		if tc.pc.state != pcDone && tc.pc.state != pcFailed {
+			tc.pc.abandon(false)
+		}
+	})
+	a.inflight = pruneTimedConns(append(a.inflight, tc))
+	interval := sim.Cycles(uint64(sim.CyclesPerSecond) / a.Rate)
+	a.tickEv = a.Eng.After(a.rng.Jitter(interval, 0.05), a.tick)
+}
+
+// AckFlooder blasts ACK — or ACK|FIN — segments that belong to no
+// connection. Each one is demultiplexed, fails the connection lookup,
+// and is dropped; the cost is bounded by design, and the attack's
+// signature is the demux Strays counter.
+type AckFlooder struct {
+	*Station
+	Rate    uint64 // segments per second
+	Port    uint16
+	WithFin bool // append FIN to each segment (FIN-flood variant)
+
+	Sent uint64
+
+	stopped bool
+	tickEv  sim.Event
+	seq     uint32
+	srcPort uint16
+}
+
+// NewAckFlooder creates the attacker station.
+func NewAckFlooder(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, rate uint64, seed uint64) *AckFlooder {
+	return &AckFlooder{
+		Station: NewStation(eng, seg, name, ip, mac, serverIP, seed),
+		Rate:    rate,
+		Port:    80,
+		srcPort: 20000,
+	}
+}
+
+// Start begins the flood.
+func (a *AckFlooder) Start() {
+	a.Resolve(a.tick)
+}
+
+// Stop ends the flood and cancels the queued tick.
+func (a *AckFlooder) Stop() {
+	a.stopped = true
+	a.Eng.Cancel(a.tickEv)
+	a.tickEv = sim.Event{}
+}
+
+// PendingEvents implements Attacker.
+func (a *AckFlooder) PendingEvents() int { return evCount(a.tickEv) }
+
+func (a *AckFlooder) tick() {
+	a.tickEv = sim.Event{}
+	if a.stopped || a.Rate == 0 {
+		return
+	}
+	a.seq += 98711
+	a.srcPort++
+	if a.srcPort < 1024 {
+		a.srcPort = 1024
+	}
+	flags := byte(wire.FlagACK)
+	if a.WithFin {
+		flags |= wire.FlagFIN
+	}
+	a.sendTCP(a.srcPort, a.Port, flags, a.seq, a.seq^0x5a5a5a5a, nil)
+	a.Sent++
+	interval := sim.Cycles(uint64(sim.CyclesPerSecond) / a.Rate)
+	a.tickEv = a.Eng.After(a.rng.Jitter(interval, 0.05), a.tick)
+}
+
+// MemThrasher runs Parallel request pipelines cycling through Docs —
+// a set chosen to exceed the FS cache budget — so every fetch misses,
+// evicts part of the legitimate working set, and forces the next
+// legitimate request to miss too. The requests themselves are
+// well-formed; the damage is in the cache, which is why the
+// server-side signal is the FS miss counter rather than any demux or
+// TCP anomaly.
+type MemThrasher struct {
+	*Station
+	Docs     []string
+	Parallel int
+	Port     uint16
+	Timeout  sim.Cycles
+
+	Fetched uint64
+	Failed  uint64
+
+	stopped bool
+	idx     int
+	slots   []*timedConn
+}
+
+// NewMemThrasher creates the attacker station cycling through docs on
+// parallel pipelines.
+func NewMemThrasher(eng *sim.Engine, seg netsim.Attacher, name string, ip uint32, mac netsim.MAC, serverIP uint32, docs []string, parallel int, seed uint64) *MemThrasher {
+	return &MemThrasher{
+		Station:  NewStation(eng, seg, name, ip, mac, serverIP, seed),
+		Docs:     docs,
+		Parallel: parallel,
+		Port:     80,
+		Timeout:  5 * sim.CyclesPerSecond,
+	}
+}
+
+// Start launches the pipelines.
+func (a *MemThrasher) Start() {
+	a.Resolve(func() {
+		for i := 0; i < a.Parallel; i++ {
+			slot := &timedConn{}
+			a.slots = append(a.slots, slot)
+			a.launch(slot)
+		}
+	})
+}
+
+// launch issues the next fetch on slot, back-to-back with the
+// previous one: completion (or timeout) immediately starts the next.
+func (a *MemThrasher) launch(slot *timedConn) {
+	if a.stopped || len(a.Docs) == 0 {
+		return
+	}
+	doc := a.Docs[a.idx%len(a.Docs)]
+	a.idx++
+	req := []byte(fmt.Sprintf("GET %s HTTP/1.0\r\nHost: server\r\n\r\n", doc))
+	pc := a.open(a.Port, req, nil, func(success bool) {
+		a.Eng.Cancel(slot.ev)
+		slot.ev = sim.Event{}
+		if success {
+			a.Fetched++
+		} else {
+			a.Failed++
+		}
+		if !a.stopped {
+			a.launch(slot)
+		}
+	})
+	slot.pc = pc
+	slot.ev = a.Eng.After(a.Timeout, func() {
+		slot.ev = sim.Event{}
+		if slot.pc == pc && pc.state != pcDone && pc.state != pcFailed {
+			pc.abandon(false) // onClose relaunches the slot
+		}
+	})
+}
+
+// Stop cancels every slot timer and abandons the in-flight fetches.
+func (a *MemThrasher) Stop() {
+	a.stopped = true
+	for _, slot := range a.slots {
+		a.Eng.Cancel(slot.ev)
+		slot.ev = sim.Event{}
+		if slot.pc != nil {
+			slot.pc.abandon(false)
+		}
+	}
+	a.slots = nil
+}
+
+// PendingEvents implements Attacker.
+func (a *MemThrasher) PendingEvents() int {
+	n := 0
+	for _, slot := range a.slots {
+		n += evCount(slot.ev)
+		if slot.pc != nil {
+			n += evCount(slot.pc.retryEv, slot.pc.delackEv)
+		}
+	}
+	return n
+}

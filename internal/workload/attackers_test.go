@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/lib"
+	"repro/internal/sim"
+)
+
+func TestSlowAttackerHoldsSessions(t *testing.T) {
+	e := newEnv()
+	a := NewSlowAttacker(e.eng, e.hub, "slow", lib.IPv4(192, 168, 7, 7),
+		0x0200_0000_7777, serverIP, 8, 11)
+	a.Start()
+	e.eng.Drain(2 * sim.CyclesPerSecond)
+	if a.Opened != 8 {
+		t.Fatalf("opened = %d, want 8", a.Opened)
+	}
+	// ~5 trickle bytes/second/session over ~2s.
+	if a.TrickleSent < 8*4 {
+		t.Fatalf("trickle bytes = %d; sessions not being kept alive", a.TrickleSent)
+	}
+	// The sessions never complete: the server holds them all.
+	if e.srv.Completed != 0 {
+		t.Fatalf("slowloris sessions completed?! (%d)", e.srv.Completed)
+	}
+	if got := e.srv.OpenConns(); got < 8 {
+		t.Fatalf("server open conns = %d, want all 8 held", got)
+	}
+}
+
+func TestPortScannerSweepsRange(t *testing.T) {
+	e := newEnv()
+	a := NewPortScanner(e.eng, e.hub, "scan", lib.IPv4(192, 168, 7, 8),
+		0x0200_0000_7778, serverIP, 500, 12)
+	a.Start()
+	e.eng.Drain(2 * sim.CyclesPerSecond)
+	// ~500/s for ~2s minus ARP startup.
+	if a.Probes < 850 || a.Probes > 1050 {
+		t.Fatalf("probes = %d in 2s at 500/s", a.Probes)
+	}
+	if a.next <= a.FirstPort {
+		t.Fatalf("sweep cursor never advanced (next=%d)", a.next)
+	}
+	if e.srv.Completed != 0 {
+		t.Fatal("scanner completed a connection?!")
+	}
+}
+
+func TestBruteForcerRate(t *testing.T) {
+	e := newEnv()
+	a := NewBruteForcer(e.eng, e.hub, "brute", lib.IPv4(192, 168, 7, 9),
+		0x0200_0000_7779, serverIP, 50, 13)
+	a.Start()
+	e.eng.Drain(2 * sim.CyclesPerSecond)
+	if a.Attempts < 80 || a.Attempts > 110 {
+		t.Fatalf("attempts = %d in 2s at 50/s", a.Attempts)
+	}
+	if a.Answered > a.Attempts {
+		t.Fatalf("answered %d > attempts %d", a.Answered, a.Attempts)
+	}
+}
+
+func TestAckFlooderRate(t *testing.T) {
+	e := newEnv()
+	a := NewAckFlooder(e.eng, e.hub, "ack", lib.IPv4(192, 168, 7, 10),
+		0x0200_0000_777a, serverIP, 1000, 14)
+	a.WithFin = true
+	a.Start()
+	e.eng.Drain(2 * sim.CyclesPerSecond)
+	if a.Sent < 1700 || a.Sent > 2100 {
+		t.Fatalf("sent = %d in 2s at 1000/s", a.Sent)
+	}
+	// Stray segments never create server state.
+	if e.srv.OpenConns() != 0 {
+		t.Fatalf("ACK flood created %d server conns", e.srv.OpenConns())
+	}
+}
+
+func TestMemThrasherCyclesDocs(t *testing.T) {
+	e := newEnv()
+	a := NewMemThrasher(e.eng, e.hub, "thrash", lib.IPv4(192, 168, 7, 11),
+		0x0200_0000_777b, serverIP, []string{"/doc1", "/doc1k"}, 4, 15)
+	a.Start()
+	e.eng.Drain(2 * sim.CyclesPerSecond)
+	if a.Fetched < 8 {
+		t.Fatalf("fetched = %d; pipelines not cycling", a.Fetched)
+	}
+	if a.idx < int(a.Fetched) {
+		t.Fatalf("idx = %d < fetched = %d", a.idx, a.Fetched)
+	}
+}
+
+// TestAttackersStopQuiesce is the satellite's teardown contract: after
+// Stop, every attacker reports zero pending events, holds no
+// connections, and its work counter freezes.
+func TestAttackersStopQuiesce(t *testing.T) {
+	cases := []struct {
+		name  string
+		make  func(e *env) (Attacker, func() uint64)
+		grace sim.Cycles // extra drain before Stop
+	}{
+		{"syn", func(e *env) (Attacker, func() uint64) {
+			a := NewSynAttacker(e.eng, e.hub, "syn", lib.IPv4(192, 168, 9, 1),
+				0x0200_0000_9901, serverIP, 500, 21)
+			return a, func() uint64 { return a.Sent }
+		}, 0},
+		{"cgi", func(e *env) (Attacker, func() uint64) {
+			a := NewCGIAttacker(e.eng, e.hub, "cgi", lib.IPv4(192, 168, 9, 2),
+				0x0200_0000_9902, serverIP, 22)
+			a.Interval = 100 * sim.CyclesPerMillisecond
+			return a, func() uint64 { return a.Launched }
+		}, 0},
+		{"slowloris", func(e *env) (Attacker, func() uint64) {
+			a := NewSlowAttacker(e.eng, e.hub, "slow", lib.IPv4(192, 168, 9, 3),
+				0x0200_0000_9903, serverIP, 6, 23)
+			return a, func() uint64 { return a.TrickleSent }
+		}, 0},
+		{"portscan", func(e *env) (Attacker, func() uint64) {
+			a := NewPortScanner(e.eng, e.hub, "scan", lib.IPv4(192, 168, 9, 4),
+				0x0200_0000_9904, serverIP, 500, 24)
+			return a, func() uint64 { return a.Probes }
+		}, 0},
+		{"bruteforce", func(e *env) (Attacker, func() uint64) {
+			a := NewBruteForcer(e.eng, e.hub, "brute", lib.IPv4(192, 168, 9, 5),
+				0x0200_0000_9905, serverIP, 50, 25)
+			return a, func() uint64 { return a.Attempts }
+		}, 0},
+		{"ackfinflood", func(e *env) (Attacker, func() uint64) {
+			a := NewAckFlooder(e.eng, e.hub, "ack", lib.IPv4(192, 168, 9, 6),
+				0x0200_0000_9906, serverIP, 500, 26)
+			a.WithFin = true
+			return a, func() uint64 { return a.Sent }
+		}, 0},
+		{"memthrash", func(e *env) (Attacker, func() uint64) {
+			a := NewMemThrasher(e.eng, e.hub, "thrash", lib.IPv4(192, 168, 9, 7),
+				0x0200_0000_9907, serverIP, []string{"/doc1", "/doc1k"}, 3, 27)
+			return a, func() uint64 { return a.Fetched }
+		}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := newEnv()
+			a, count := c.make(e)
+			a.Start()
+			e.eng.Drain(sim.CyclesPerSecond + c.grace)
+			if count() == 0 {
+				t.Fatal("attacker did no work before Stop")
+			}
+			a.Stop()
+			if n := a.PendingEvents(); n != 0 {
+				t.Fatalf("PendingEvents = %d after Stop, want 0", n)
+			}
+			frozen := count()
+			e.eng.Drain(2 * sim.CyclesPerSecond)
+			if got := count(); got != frozen {
+				t.Fatalf("work continued after Stop: %d -> %d", frozen, got)
+			}
+			if n := a.PendingEvents(); n != 0 {
+				t.Fatalf("PendingEvents = %d long after Stop, want 0", n)
+			}
+		})
+	}
+}

@@ -46,6 +46,13 @@ type Station struct {
 	// connection until the client timeout).
 	ReqRetry sim.Cycles
 
+	// PuzzleBits, when non-zero, makes the station solve the server's
+	// client puzzle before each SYN: the initial sequence number is
+	// searched until it proves the required hash work (the legitimate
+	// client's side of the shed-pressure gate). Attacker stations leave
+	// it zero — refusing to pay is what gets them rejected.
+	PuzzleBits uint
+
 	conns    map[uint16]*peerConn // keyed by local port
 	portSeq  uint16
 	issSeq   uint32
@@ -245,12 +252,16 @@ type peerConn struct {
 // handshake.
 func (s *Station) open(remotePort uint16, request []byte, onData func(int), onClose func(bool)) *peerConn {
 	s.issSeq += 99991
+	iss := s.issSeq
+	if s.PuzzleBits > 0 {
+		iss = wire.SolvePuzzle(s.IP, iss, s.PuzzleBits)
+	}
 	c := &peerConn{
 		st:         s,
 		localPort:  s.nextPort(),
 		remotePort: remotePort,
 		state:      pcSynSent,
-		iss:        s.issSeq,
+		iss:        iss,
 		request:    request,
 		started:    s.Eng.Now(),
 		onData:     onData,
