@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint lint-json lint-sarif fmt fmt-check vet check bench bench-parity bench-smoke chaos-smoke scenarios-smoke
+.PHONY: all build test race lint lint-json lint-sarif fmt fmt-check vet check bench bench-parity bench-smoke chaos-smoke scenarios scenarios-smoke
 
 all: check
 
@@ -40,24 +40,24 @@ vet:
 # check is what CI runs (minus the networked staticcheck/govulncheck job).
 check: fmt-check vet build lint test
 
-# bench regenerates BENCH_6.json: conn/s per Figure 8 point, the sweep
+# bench regenerates BENCH_7.json: conn/s per Figure 8 point, the sweep
 # runner's sims/sec (serial vs parallel), and the engine hot path's
 # ns/op, with bytes/op + allocs/op promoted to first-class fields so
 # allocation regressions diff directly. bench-parity then diffs it
-# against BENCH_5.json (structural metrics tight, timed metrics within
+# against BENCH_6.json (structural metrics tight, timed metrics within
 # noise); the hotpathalloc analyzer guards the paths these numbers
 # price.
 bench:
 	{ $(GO) test -run '^$$' -bench 'Fig8' -benchmem . && \
 	  $(GO) test -run '^$$' -bench 'Engine' -benchmem ./internal/sim; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_6.json
-	@cat BENCH_6.json
+	  | $(GO) run ./cmd/benchjson > BENCH_7.json
+	@cat BENCH_7.json
 
 # bench-parity asserts the fault-free numbers did not move: allocs/op
 # and bytes/op within structural tolerance, conn/s and ns/op within
 # machine noise, against the previous committed document.
 bench-parity:
-	$(GO) run ./cmd/benchjson -compare BENCH_5.json BENCH_6.json
+	$(GO) run ./cmd/benchjson -compare BENCH_6.json BENCH_7.json
 
 # bench-smoke is the CI guard: one iteration of every Figure 8
 # benchmark under the race detector, so the parallel sweep path stays
@@ -71,8 +71,21 @@ bench-smoke:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosSmoke' -v ./internal/fault/
 
-# scenarios-smoke runs the attacked leg of one scenario per attack
-# class (all five classes) under the race detector, with detection and
-# containment asserted. See ROBUSTNESS.md "Scenario catalog".
+# scenarios regenerates SCENARIOS.json: every attack scenario under
+# both defense policies (static thresholds and the adaptive anomaly
+# detector), with the three detection-quality metrics per run. This is
+# the committed baseline the detection-quality gate compares against.
+scenarios:
+	$(GO) run ./cmd/escort-bench -scenario all -report SCENARIOS.json
+
+# scenarios-smoke is the CI gate: the attacked leg of one scenario per
+# attack class (all five classes) under the race detector with both
+# policies, detection and containment asserted — then the fresh
+# scenario reports diffed against the committed SCENARIOS.json
+# baseline (time-to-detect, false-kill rate, goodput retained; see
+# cmd/benchjson for the tolerances). See ROBUSTNESS.md "Scenario
+# catalog".
 scenarios-smoke:
 	$(GO) test -race -run 'TestScenariosSmoke' -v ./internal/scenario/
+	$(GO) run ./cmd/escort-bench -scenario all -report /tmp/scenarios-new.json > /dev/null
+	$(GO) run ./cmd/benchjson -compare SCENARIOS.json /tmp/scenarios-new.json

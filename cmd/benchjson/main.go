@@ -21,6 +21,16 @@
 // that cuts B/op must not fail the build — while regressions beyond
 // tolerance do. Exit status 1 on any violation, with one line per
 // offending metric.
+//
+// -compare also understands scenario-report documents (the
+// {"scenarios":[...]} files escort-bench -scenario all -report writes):
+// every scenario+policy pair present in OLD must exist in NEW, still
+// detected, with the three detection-quality metrics inside their
+// gates — time-to-detect may not regress past +10 % (with one 10 ms
+// sample tick of absolute slack, the measurement granularity), the
+// false-kill rate may not increase at all, and goodput retained may
+// not drop more than 5 %. As with benchmarks, the gate is directional:
+// faster detection, fewer kills, or better goodput always pass.
 package main
 
 import (
@@ -49,6 +59,17 @@ const (
 	noiseTol      = 0.50 // ±50 % relative on timed metrics
 )
 
+// Scenario-report gates. The scenario runs are byte-deterministic, so
+// any drift at all is a code-behavior change; the tolerances exist to
+// let intentional small shifts land without editing the baseline,
+// while regressions that matter (slower detection, collateral damage,
+// lost goodput) fail the build.
+const (
+	ttdTol     = 0.10 // time-to-detect may grow ≤10 %...
+	ttdAbsMs   = 10.0 // ...or one 10 ms sample tick, whichever is larger
+	goodputTol = 0.05 // goodput retained may drop ≤5 %
+)
+
 // Benchmark is one result line: the benchmark's name (including the
 // -GOMAXPROCS suffix go test appends), its package, the iteration
 // count, and every reported metric keyed by unit (ns/op, conn/s,
@@ -66,12 +87,29 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics"`
 }
 
-// Doc is the whole BENCH_3.json document.
+// ScenarioReport mirrors the detection-quality fields of a
+// scenario.Result as written by escort-bench -scenario -report. Fields
+// not gated here (path kills, raw signal, completion counts) are
+// ignored on load; the committed baseline remains the full document.
+type ScenarioReport struct {
+	Scenario        string  `json:"scenario"`
+	Class           string  `json:"class,omitempty"`
+	Policy          string  `json:"policy"`
+	Detected        bool    `json:"detected"`
+	TimeToDetectMs  float64 `json:"time_to_detect_ms"`
+	FalseKillRate   float64 `json:"false_kill_rate"`
+	GoodputRetained float64 `json:"goodput_retained"`
+}
+
+// Doc is the whole BENCH_3.json document; scenario-report documents
+// ({"scenarios":[...]}) load into the same shape with an empty
+// benchmark list.
 type Doc struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks []Benchmark      `json:"benchmarks,omitempty"`
+	Scenarios  []ScenarioReport `json:"scenarios,omitempty"`
 }
 
 func main() {
@@ -138,13 +176,58 @@ func compareDocs(oldPath, newPath string) error {
 			}
 		}
 	}
+	violations = append(violations, compareScenarios(oldDoc, newDoc, newPath)...)
 	if len(violations) > 0 {
 		return fmt.Errorf("parity check %s vs %s failed:\n  %s",
 			oldPath, newPath, strings.Join(violations, "\n  "))
 	}
-	fmt.Printf("parity ok: %d benchmarks in %s match %s\n",
-		len(oldDoc.Benchmarks), newPath, oldPath)
+	fmt.Printf("parity ok: %d benchmarks, %d scenario reports in %s match %s\n",
+		len(oldDoc.Benchmarks), len(oldDoc.Scenarios), newPath, oldPath)
 	return nil
+}
+
+// compareScenarios gates the detection-quality metrics of every
+// scenario+policy pair in OLD against NEW.
+func compareScenarios(oldDoc, newDoc Doc, newPath string) []string {
+	index := make(map[string]*ScenarioReport, len(newDoc.Scenarios))
+	for i := range newDoc.Scenarios {
+		s := &newDoc.Scenarios[i]
+		index[s.Scenario+"/"+s.Policy] = s
+	}
+	var violations []string
+	for i := range oldDoc.Scenarios {
+		osr := &oldDoc.Scenarios[i]
+		key := osr.Scenario + "/" + osr.Policy
+		ns, ok := index[key]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("scenario %s: missing from %s", key, newPath))
+			continue
+		}
+		if osr.Detected && !ns.Detected {
+			violations = append(violations,
+				fmt.Sprintf("scenario %s: attack no longer detected", key))
+			continue
+		}
+		if ns.TimeToDetectMs > osr.TimeToDetectMs &&
+			ns.TimeToDetectMs-osr.TimeToDetectMs > ttdAbsMs &&
+			ns.TimeToDetectMs > osr.TimeToDetectMs*(1+ttdTol) {
+			violations = append(violations,
+				fmt.Sprintf("scenario %s: time_to_detect_ms regressed %.0f -> %.0f (tolerance +%.0f%% / +%.0fms)",
+					key, osr.TimeToDetectMs, ns.TimeToDetectMs, ttdTol*100, ttdAbsMs))
+		}
+		if ns.FalseKillRate > osr.FalseKillRate {
+			violations = append(violations,
+				fmt.Sprintf("scenario %s: false_kill_rate regressed %.3f -> %.3f (no increase allowed)",
+					key, osr.FalseKillRate, ns.FalseKillRate))
+		}
+		if ns.GoodputRetained < osr.GoodputRetained*(1-goodputTol) {
+			violations = append(violations,
+				fmt.Sprintf("scenario %s: goodput_retained regressed %.3f -> %.3f (tolerance -%.0f%%)",
+					key, osr.GoodputRetained, ns.GoodputRetained, goodputTol*100))
+		}
+	}
+	return violations
 }
 
 // lowerIsBetter classifies a metric's good direction: per-op costs

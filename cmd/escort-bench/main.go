@@ -9,6 +9,7 @@
 //	             [-parallel=false] [-trace base.json] [-metrics base.csv]
 //	             [-faults spec]
 //	escort-bench -scenario slowloris|portscan|bruteforce|ackfinflood|memthrash|all
+//	             [-report SCENARIOS.json]
 //
 // -faults applies a deterministic fault spec (see ROBUSTNESS.md for the
 // grammar) to every figure run: network faults on both segments, the
@@ -16,11 +17,18 @@
 // shedding) in the server. Table runs stay fault-free.
 //
 // -scenario runs one attack scenario (or the whole library) from
-// internal/scenario instead of the figure sweeps: a fault-armed
+// internal/scenario instead of the figure sweeps, under BOTH defense
+// policies side by side — the scenario's static thresholds, then the
+// adaptive anomaly detector armed on top of them: a fault-armed
 // baseline, the attacked run, containment assertions, and a JSON
-// report with the three detection-quality metrics (time-to-detect,
-// false-kill rate, goodput retained). See ROBUSTNESS.md "Scenario
-// catalog" and EXPERIMENTS.md for a worked example.
+// report per policy with the three detection-quality metrics
+// (time-to-detect, false-kill rate, goodput retained). The adaptive
+// run must detect no later than the static one and must kill no
+// legitimate client. -report additionally writes all reports as one
+// {"scenarios":[...]} document — the committed baseline that
+// `benchjson -compare` gates detection quality against. See
+// ROBUSTNESS.md "Scenario catalog" and EXPERIMENTS.md for a worked
+// example.
 //
 // Figure sweeps fan their points across one worker per CPU by default;
 // every point is an independent simulation, so -parallel=false produces
@@ -71,10 +79,11 @@ func main() {
 	metricsBase := flag.String("metrics", "", "write per-run metrics CSV files derived from this base path")
 	faultSpec := flag.String("faults", "", "fault spec applied to figure runs, e.g. 'seed=7,drop=0.01,fp:kmem.alloc=p0.001,watchdog' (see ROBUSTNESS.md)")
 	scen := flag.String("scenario", "", "run one attack scenario from the library (or 'all') and print its detection-quality report")
+	report := flag.String("report", "", "with -scenario: also write the reports as one JSON document (the benchjson -compare baseline)")
 	flag.Parse()
 
 	if *scen != "" {
-		runScenarios(*scen)
+		runScenarios(*scen, *report)
 		return
 	}
 
@@ -191,9 +200,12 @@ func main() {
 }
 
 // runScenarios executes the named attack scenario (or the whole
-// library) and prints each report as JSON. A failed containment
-// assertion or a missed detection exits non-zero.
-func runScenarios(name string) {
+// library) under both defense policies and prints the static and
+// adaptive reports side by side. A failed containment assertion, a
+// missed detection, or an adaptive regression (later detection, any
+// false kill) exits non-zero. With a report path, all reports are
+// also written as one {"scenarios":[...]} document.
+func runScenarios(name, reportPath string) {
 	list := scenario.All
 	if name != "all" {
 		s, ok := scenario.Lookup(name)
@@ -204,20 +216,42 @@ func runScenarios(name string) {
 		}
 		list = []*scenario.Scenario{s}
 	}
+	var reports []*scenario.Result
 	for _, s := range list {
 		start := time.Now()
 		fmt.Printf("==== scenario %s ====\n%s\n", s.Name, s.Desc)
-		res, err := scenario.Run(s)
+		static, adaptive, err := scenario.Compare(s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "escort-bench: %v\n", err)
 			os.Exit(1)
 		}
-		out, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "escort-bench: %v\n", err)
-			os.Exit(1)
+		for _, res := range []*scenario.Result{static, adaptive} {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "escort-bench: %v\n", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(append(out, '\n'))
+			reports = append(reports, res)
 		}
-		os.Stdout.Write(append(out, '\n'))
+		fmt.Printf("static ttd %.0fms -> adaptive ttd %.0fms; goodput %.2f -> %.2f\n",
+			static.TimeToDetectMs, adaptive.TimeToDetectMs,
+			static.GoodputRetained, adaptive.GoodputRetained)
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", s.Name, time.Since(start).Seconds())
+	}
+	if reportPath != "" {
+		doc := struct {
+			Scenarios []*scenario.Result `json:"scenarios"`
+		}{reports}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "escort-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(reportPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "escort-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d scenario reports to %s\n", len(reports), reportPath)
 	}
 }

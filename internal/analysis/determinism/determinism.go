@@ -55,6 +55,11 @@ var AlwaysOn = map[string]bool{
 	// across same-seed runs; it stays in scope even if a refactor ever
 	// drops its direct engine dependency.
 	"repro/internal/scenario": true,
+	// The policy package hosts the adaptive anomaly detector, whose
+	// decision log must be byte-identical across same-seed runs — a
+	// wall-clock read or unordered map walk in any escalation path
+	// would scramble demote/shed/kill ordering.
+	"repro/internal/policy": true,
 }
 
 // Analyzer is the determinism analyzer.

@@ -181,6 +181,10 @@ type Server struct {
 	// enabled it.
 	Reaper *policy.SessionReaper
 
+	// Detector is the adaptive anomaly detector when Options.Faults
+	// enabled it.
+	Detector *policy.Detector
+
 	// Obs holds the live observability sinks built from Options.Obs.
 	// Call Obs.Close() after the run to flush the trace and metrics
 	// exports; it is nil-safe and idempotent.
@@ -217,6 +221,18 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 	accounting := opt.Kind != KindScout
 
 	o := obs.New(opt.Obs)
+	if opt.Faults != nil && opt.Faults.Detector && accounting && o.Metrics == nil {
+		// The detector rides the metrics sampler's 10 ms tick. When no
+		// metrics sink is configured, install a sink-less sampler so
+		// arming the detector never changes whether sampling happens —
+		// only who consumes the samples.
+		var interval sim.Cycles
+		var group func(string) string
+		if opt.Obs != nil {
+			interval, group = opt.Obs.MetricsInterval, opt.Obs.OwnerGroup
+		}
+		o.Metrics = obs.NewSampler(interval, group)
+	}
 	kcfg := kernel.Config{
 		Accounting:    accounting,
 		Scheduler:     opt.Scheduler,
@@ -348,6 +364,11 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 		s.Reaper = policy.EnableSessionReaper(k, mgr, s.TCP,
 			policy.ReaperConfig{MinAge: opt.Faults.ReaperMinAge})
 	}
+	if opt.Faults != nil && opt.Faults.Detector && accounting {
+		s.Detector = policy.EnableDetector(k, mgr, s.TCP, s.TCP, o.Metrics,
+			policy.DetectorConfig{Warmup: opt.Faults.DetectorWarmup, K: opt.Faults.DetectorK})
+		s.TCP.ShedSrc = s.Detector.SourceShed
+	}
 
 	if err := g.Init(mgr, mgr.DeliverInbound); err != nil {
 		return nil, fmt.Errorf("escort: graph init: %w", err)
@@ -374,6 +395,13 @@ func NewServer(eng *sim.Engine, model *cost.Model, seg netsim.Attacher, opt Opti
 		}
 		if _, err := mgr.Create(nil, "Passive SYN Path (penalty)", "tcp", penaltyAttrs); err != nil {
 			return nil, fmt.Errorf("escort: penalty passive path: %w", err)
+		}
+		if s.Detector != nil {
+			// The detector's kill rung boxes path-less offenders (pure
+			// demand floods) directly; path-owning offenders arrive via
+			// pathKill's reapKilled -> OnOffender chain like every other
+			// kill.
+			s.Detector.OnOffender = s.Penalty.Record
 		}
 	}
 

@@ -39,6 +39,12 @@ type Spec struct {
 	// not prove ~2^bits of client hash work are rejected cheaply instead
 	// of shed wholesale (zero disables the gate).
 	PuzzleBits uint
+	// Detector enables the adaptive anomaly detector; DetectorWarmup
+	// overrides its observation period and DetectorK its z-score
+	// multiplier (zero = the policy defaults).
+	Detector       bool
+	DetectorWarmup sim.Cycles
+	DetectorK      int64
 }
 
 // PointSpec names a failpoint and its trigger.
@@ -93,8 +99,11 @@ func (s *Spec) NewSet() *Set {
 //	shed=FRAC               shed new connections above FRAC page use
 //	reaper[=MINAGE]         enable the idle/slow-session reaper
 //	puzzle=BITS             client-puzzle SYN gate under shed pressure
+//	detector[=WARMUP[:K]]   enable the adaptive anomaly detector
 //
 // Durations accept us/ms/s suffixes; a bare number is virtual cycles.
+// (The detector's sub-parameters use ':' because ',' separates spec
+// entries, matching jitter=P:MAX.)
 // The empty string parses to nil (no faults).
 func ParseSpec(spec string) (*Spec, error) {
 	spec = strings.TrimSpace(spec)
@@ -230,6 +239,25 @@ func (s *Spec) apply(key, val string, hasVal bool) error {
 			return fmt.Errorf("puzzle bits %q outside [1, 24]", val)
 		}
 		s.PuzzleBits = uint(n)
+	case "detector":
+		s.Detector = true
+		if hasVal && val != "" {
+			warm, rest, hasK := strings.Cut(val, ":")
+			if warm != "" {
+				d, err := parseDuration(warm)
+				if err != nil {
+					return err
+				}
+				s.DetectorWarmup = d
+			}
+			if hasK {
+				k, err := strconv.ParseInt(rest, 10, 32)
+				if err != nil || k <= 0 {
+					return fmt.Errorf("detector K %q must be a positive integer", rest)
+				}
+				s.DetectorK = k
+			}
+		}
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -286,6 +314,11 @@ func parseDuration(val string) (sim.Cycles, error) {
 	n, err := strconv.ParseUint(num, 10, 63)
 	if err != nil {
 		return 0, fmt.Errorf("bad duration %q", val)
+	}
+	// The unit multiply must not wrap: 30 million virtual seconds
+	// overflows int64 cycles and would arm a negative threshold.
+	if unit > 1 && sim.Cycles(n) > (1<<62)/unit {
+		return 0, fmt.Errorf("duration %q overflows the cycle clock", val)
 	}
 	return sim.Cycles(n) * unit, nil
 }

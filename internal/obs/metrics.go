@@ -33,21 +33,54 @@ type Metrics struct {
 	interval sim.Cycles
 	group    func(owner string) string
 
-	ledger  ledgerSource
-	faults  *FaultRegistry
-	next    sim.Cycles
-	samples []Sample
+	ledger      ledgerSource
+	faults      *FaultRegistry
+	next        sim.Cycles
+	samples     []Sample
+	subscribers []func(Sample)
 
 	// OnSample, when non-nil, observes each sample as it is taken. The
 	// scenario harness rides this hook: detection-quality metrics
 	// (time-to-detect and friends) are computed on the same 10 ms
 	// cadence as the per-owner series, instead of a second timer wheel.
 	// The callback must not mutate the sample or charge cycles.
+	// Subscribers registered with Subscribe run first, in registration
+	// order, so a policy subscriber's reaction (the adaptive detector's
+	// demote/kill) is visible to this hook within the same tick.
 	OnSample func(Sample)
 }
 
 func newMetrics(csv, jsonW io.Writer, interval sim.Cycles, group func(string) string) *Metrics {
 	return &Metrics{csv: csv, jsonW: jsonW, interval: interval, group: group}
+}
+
+// NewSampler builds a sink-less Metrics: it samples the ledger on the
+// virtual-time tick and feeds subscribers, but writes no CSV/JSON.
+// The adaptive detector uses one when no metrics sink is configured,
+// so arming it never changes whether sampling happens — only who
+// consumes the samples. Zero interval means DefaultMetricsInterval;
+// nil group means DefaultOwnerGroup.
+func NewSampler(interval sim.Cycles, group func(string) string) *Metrics {
+	if interval <= 0 {
+		interval = DefaultMetricsInterval
+	}
+	if group == nil {
+		group = DefaultOwnerGroup
+	}
+	return newMetrics(nil, nil, interval, group)
+}
+
+// Subscribe registers an additional per-sample observer. Subscribers
+// run in registration order, before OnSample. Like OnSample callbacks
+// they must not mutate the sample; unlike OnSample they may act on the
+// kernel (the detector demotes/kills from inside its subscriber — the
+// sampler runs at scheduler-loop boundaries where that is safe).
+// Nil-safe: subscribing on a nil *Metrics is a no-op.
+func (m *Metrics) Subscribe(fn func(Sample)) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.subscribers = append(m.subscribers, fn)
 }
 
 // DefaultOwnerGroup collapses per-connection path owners into bounded
@@ -129,6 +162,9 @@ func (m *Metrics) sample(now sim.Cycles) {
 		}
 	}
 	m.samples = append(m.samples, s)
+	for _, fn := range m.subscribers {
+		fn(s)
+	}
 	if m.OnSample != nil {
 		m.OnSample(s)
 	}

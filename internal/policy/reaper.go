@@ -53,18 +53,13 @@ type SessionSource interface {
 // allocation first, pathKill it a scan later, and let the kill feed
 // the penalty box through the module's offender report.
 type SessionReaper struct {
+	*Ladder
 	k   *kernel.Kernel
 	mgr *path.Manager
 	src SessionSource
 	cfg ReaperConfig
 
 	demoted map[module.PathRef]bool
-
-	// Demotions and Kills count escalations; ReclaimedCycles totals the
-	// pathKill teardown cost.
-	Demotions       uint64
-	Kills           uint64
-	ReclaimedCycles sim.Cycles
 }
 
 // EnableSessionReaper arms the reaper on its own owner, so its scan
@@ -80,7 +75,7 @@ func EnableSessionReaper(k *kernel.Kernel, mgr *path.Manager, src SessionSource,
 	if cfg.Interval == 0 {
 		cfg.Interval = cfg.MinAge / 4
 	}
-	r := &SessionReaper{k: k, mgr: mgr, src: src, cfg: cfg,
+	r := &SessionReaper{Ladder: NewLadder(k, mgr), k: k, mgr: mgr, src: src, cfg: cfg,
 		demoted: make(map[module.PathRef]bool)}
 	owner := k.NewOwner("Session Reaper", core.DomainOwner)
 	k.RegisterEvent(owner, "Session Reaper", cfg.Interval, cfg.Interval, r.scan)
@@ -93,14 +88,15 @@ func (r *SessionReaper) scan(ctx *kernel.Ctx) {
 	model := r.k.Model()
 	ctx.Use(model.EventOp)
 	now := ctx.Now()
-	tr := r.k.Tracer()
 	next := make(map[module.PathRef]bool, len(r.demoted))
 	r.src.EachConn(func(cs tcp.ConnStats) {
 		ctx.Use(model.AccountingOp)
 		if cs.State != tcp.StateEstablished || !cs.Path.Alive() {
 			return
 		}
-		if now-cs.Since < r.cfg.MinAge {
+		// Strictly older than MinAge: a session at exactly MinAge has not
+		// yet had its grace period and must not be judged.
+		if now-cs.Since <= r.cfg.MinAge {
 			return
 		}
 		owner := cs.Path.PathOwner()
@@ -116,22 +112,14 @@ func (r *SessionReaper) scan(ctx *kernel.Ctx) {
 			return
 		}
 		if !r.demoted[cs.Path] {
-			DemotePriority(p)
-			r.Demotions++
+			r.Demote(p, "reaperDemote")
 			next[cs.Path] = true
-			if tr != nil {
-				tr.Policy("reaperDemote", p.PathName(), "", now)
-			}
 			return
 		}
 		// Still trickling a scan after demotion: reclaim. The kill path
 		// reports the source as an offender (tcp.Module.reapKilled →
 		// OnOffender), so repeat holders land in the penalty box.
-		r.Kills++
-		r.ReclaimedCycles += r.mgr.Kill(p)
-		if tr != nil {
-			tr.Policy("reaperKill", p.PathName(), "", r.k.Engine().Now())
-		}
+		r.Kill(p, "reaperKill")
 	})
 	r.demoted = next
 }

@@ -1,0 +1,68 @@
+package policy
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/path"
+	"repro/internal/sim"
+)
+
+// Responder is the graduated-response surface every detection policy
+// escalates through: demote a path's allocation first, pathKill it when
+// demotion is not enough. The watchdog (hung paths), the session reaper
+// (trickling sessions) and the adaptive detector (learned-baseline
+// anomalies) are all just detection signals feeding the same ladder —
+// what differs between them is *when* they escalate, never *how*. The
+// penalty box rides the kill rung for free: pathKill reports the dead
+// connection's source through tcp.Module.OnOffender.
+type Responder interface {
+	// Demote puts the path on a minimal allocation. The event string
+	// names the policy rung for the trace ("watchdogDemote", ...).
+	Demote(p *path.Path, event string)
+	// Kill is pathKill: reclaim everything the path owns and return the
+	// teardown cost.
+	Kill(p *path.Path, event string) sim.Cycles
+}
+
+// Ladder is the standard Responder over a path manager: demotion via
+// DemotePriority, kill via pathKill, each step traced as a policy
+// event and counted. Policies embed a Ladder so their escalation
+// counters (Demotions, Kills, ReclaimedCycles) stay per-policy while
+// the response mechanics live in one place.
+type Ladder struct {
+	k   *kernel.Kernel
+	mgr *path.Manager
+
+	// Demotions and Kills count escalations; ReclaimedCycles totals the
+	// pathKill teardown cost.
+	Demotions       uint64
+	Kills           uint64
+	ReclaimedCycles sim.Cycles
+}
+
+var _ Responder = (*Ladder)(nil)
+
+// NewLadder returns a response ladder over the manager's paths.
+func NewLadder(k *kernel.Kernel, mgr *path.Manager) *Ladder {
+	return &Ladder{k: k, mgr: mgr}
+}
+
+// Demote implements Responder.
+func (l *Ladder) Demote(p *path.Path, event string) {
+	DemotePriority(p)
+	l.Demotions++
+	if tr := l.k.Tracer(); tr != nil {
+		tr.Policy(event, p.PathName(), "", l.k.Engine().Now())
+	}
+}
+
+// Kill implements Responder.
+func (l *Ladder) Kill(p *path.Path, event string) sim.Cycles {
+	name := p.PathName()
+	l.Kills++
+	c := l.mgr.Kill(p)
+	l.ReclaimedCycles += c
+	if tr := l.k.Tracer(); tr != nil {
+		tr.Policy(event, name, "", l.k.Engine().Now())
+	}
+	return c
+}

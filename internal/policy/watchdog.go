@@ -23,23 +23,19 @@ type WatchdogConfig struct {
 	Interval sim.Cycles
 }
 
-// Watchdog detects hung or starved paths and escalates: first demote
-// the path's allocation, then pathKill it. Fault injection (and real
-// bugs) can wedge a path with its resources pinned; the watchdog is the
-// graceful-degradation backstop that turns a silent hang into the same
-// contained reclamation a runaway triggers.
+// Watchdog detects hung or starved paths and escalates through the
+// shared response Ladder: first demote the path's allocation, then
+// pathKill it. Fault injection (and real bugs) can wedge a path with
+// its resources pinned; the watchdog is the graceful-degradation
+// backstop that turns a silent hang into the same contained
+// reclamation a runaway triggers.
 type Watchdog struct {
+	*Ladder
 	k   *kernel.Kernel
 	mgr *path.Manager
 	cfg WatchdogConfig
 
 	seen map[*path.Path]watchState
-
-	// Demotions and Kills count escalations; ReclaimedCycles totals the
-	// pathKill teardown cost.
-	Demotions       uint64
-	Kills           uint64
-	ReclaimedCycles sim.Cycles
 }
 
 // watchState is one path's progress record between scans.
@@ -58,7 +54,8 @@ func EnableWatchdog(k *kernel.Kernel, mgr *path.Manager, cfg WatchdogConfig) *Wa
 	if cfg.Interval == 0 {
 		cfg.Interval = cfg.Stall / 4
 	}
-	w := &Watchdog{k: k, mgr: mgr, cfg: cfg, seen: make(map[*path.Path]watchState)}
+	w := &Watchdog{Ladder: NewLadder(k, mgr), k: k, mgr: mgr, cfg: cfg,
+		seen: make(map[*path.Path]watchState)}
 	owner := k.NewOwner("Path Watchdog", core.DomainOwner)
 	k.RegisterEvent(owner, "Path Watchdog", cfg.Interval, cfg.Interval, w.scan)
 	return w
@@ -70,7 +67,6 @@ func (w *Watchdog) scan(ctx *kernel.Ctx) {
 	model := w.k.Model()
 	ctx.Use(model.EventOp)
 	now := ctx.Now()
-	tr := w.k.Tracer()
 	next := make(map[*path.Path]watchState, len(w.seen))
 	for _, p := range w.mgr.Paths() {
 		ctx.Use(model.AccountingOp)
@@ -82,18 +78,10 @@ func (w *Watchdog) scan(ctx *kernel.Ctx) {
 		if stuck := p.PendingWork() > 0 && now-st.since >= w.cfg.Stall; stuck {
 			switch {
 			case !st.demoted:
-				DemotePriority(p)
+				w.Demote(p, "watchdogDemote")
 				st.demoted = true
-				w.Demotions++
-				if tr != nil {
-					tr.Policy("watchdogDemote", p.PathName(), "", now)
-				}
 			case now-st.since >= 2*w.cfg.Stall:
-				w.Kills++
-				w.ReclaimedCycles += w.mgr.Kill(p)
-				if tr != nil {
-					tr.Policy("watchdogKill", p.PathName(), "", w.k.Engine().Now())
-				}
+				w.Kill(p, "watchdogKill")
 				continue // killed: no state to carry
 			}
 		}

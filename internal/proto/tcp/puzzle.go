@@ -48,6 +48,10 @@ func (g *PuzzleGate) verifyCost() sim.Cycles {
 type ConnStats struct {
 	Path  module.PathRef
 	State int
+	// RemoteIP is the connection's source address, so per-source
+	// policies (the adaptive detector) can aggregate sessions without
+	// parsing path names.
+	RemoteIP uint32
 	// Since is when the connection entered SYN_RECVD.
 	Since sim.Cycles
 	// BytesIn/BytesOut count in-order payload through the connection.
@@ -64,6 +68,7 @@ func (m *Module) EachConn(fn func(ConnStats)) {
 		fn(ConnStats{
 			Path:     c.path,
 			State:    c.state,
+			RemoteIP: c.remoteIP,
 			Since:    c.synRecvdAt,
 			BytesIn:  c.bytesIn,
 			BytesOut: c.bytesOut,

@@ -149,6 +149,14 @@ type Module struct {
 	Shed      func() bool
 	ShedCount uint64
 
+	// ShedSrc, when non-nil, is the per-source refinement of Shed: a
+	// true return for a SYN's source address drops it at demux time,
+	// before any listener or path work. The adaptive detector wires this
+	// as its shed rung — surgical, per-offender, where Shed is global.
+	// ShedSrcCount counts the drops.
+	ShedSrc      func(srcIP uint32) bool
+	ShedSrcCount uint64
+
 	// Puzzle, when non-nil, refines shedding into a client-puzzle gate:
 	// under shed pressure, SYNs carrying a puzzle solution are admitted
 	// and the rest are rejected at a constant verify cost (§4.4.1's
@@ -161,6 +169,14 @@ type Module struct {
 	// outcome counters like Listener.DroppedSyn.
 	NoListener uint64
 	Strays     uint64
+
+	// demand is the per-source arrival ledger behind EachSrcDemand:
+	// connection-demand segments (SYNs and strays — everything that is
+	// not an established connection's traffic) counted by source
+	// address. demandKeys preserves first-seen order so iteration is
+	// deterministic.
+	demand     map[uint32]*SrcDemand
+	demandKeys []uint32
 
 	// RTO is the (fixed) retransmission timeout; SynRcvdTimeout reaps
 	// half-open connections; MasterPeriod is the master event interval.
@@ -414,8 +430,9 @@ func (m *Module) CreateStage(pb module.PathBuilder, attrs lib.Attrs) (module.Sta
 // connections resolve through the connection table; SYNs resolve to the
 // listener whose trust class matches the source address — and are
 // dropped right here, as early as possible, when the listener's
-// SYN_RECVD budget is exhausted. Demux allocates nothing and charges
-// nothing; its only side effects are outcome counters.
+// SYN_RECVD budget is exhausted. Demux charges nothing; its side
+// effects are outcome counters, including the per-source demand
+// ledger (first sight of a source allocates its counter entry).
 func (m *Module) Demux(dc *module.DemuxCtx, mm *msg.Msg) module.Verdict {
 	b := mm.Bytes()
 	if len(b) < wire.EthLen+wire.IPv4Len+wire.TCPLen {
@@ -436,6 +453,14 @@ func (m *Module) Demux(dc *module.DemuxCtx, mm *msg.Msg) module.Verdict {
 		}
 	}
 	if flags&wire.FlagSYN != 0 && flags&wire.FlagACK == 0 {
+		m.noteDemand(srcIP, false)
+		if m.ShedSrc != nil && m.ShedSrc(srcIP) {
+			m.ShedSrcCount++
+			if tr := m.tracer; tr != nil {
+				tr.Policy("srcShed", "", lib.FormatIPv4(srcIP), m.k.Engine().Now())
+			}
+			return module.Reject("tcp: source shed")
+		}
 		l := m.findListener(dstPort, srcIP)
 		if l == nil {
 			m.NoListener++
@@ -450,8 +475,46 @@ func (m *Module) Demux(dc *module.DemuxCtx, mm *msg.Msg) module.Verdict {
 		}
 		return module.Found(l.path)
 	}
+	m.noteDemand(srcIP, true)
 	m.Strays++
 	return module.Reject("tcp: no connection")
+}
+
+// SrcDemand is one source address's cumulative connection-demand
+// counters: SYN arrivals and stray (table-miss) segments. Established
+// traffic is excluded — demand measures pressure to create or probe,
+// not payload.
+type SrcDemand struct {
+	Syns   uint64
+	Strays uint64
+}
+
+// noteDemand records one demand arrival from srcIP.
+func (m *Module) noteDemand(srcIP uint32, stray bool) {
+	if m.demand == nil {
+		m.demand = make(map[uint32]*SrcDemand)
+	}
+	d, ok := m.demand[srcIP]
+	if !ok {
+		d = &SrcDemand{}
+		m.demand[srcIP] = d
+		m.demandKeys = append(m.demandKeys, srcIP)
+	}
+	if stray {
+		d.Strays++
+	} else {
+		d.Syns++
+	}
+}
+
+// EachSrcDemand calls fn for every source address that has shown
+// connection demand, in first-seen order (deterministic for a
+// deterministic run). The adaptive detector's arrival-rate feature
+// reads this.
+func (m *Module) EachSrcDemand(fn func(srcIP uint32, d SrcDemand)) {
+	for _, ip := range m.demandKeys {
+		fn(ip, *m.demand[ip])
+	}
 }
 
 func (m *Module) findListener(port uint16, srcIP uint32) *Listener {

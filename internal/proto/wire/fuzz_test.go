@@ -1,0 +1,49 @@
+package wire
+
+import "testing"
+
+// FuzzPuzzleSolved drives verification with arbitrary difficulty,
+// including the shift counts that used to wrap the mask: before the
+// MaxPuzzleBits clamp, bits >= 64 turned 1<<bits-1 into an all-ones
+// mask demanding a full zero hash — a puzzle nobody solves and a
+// near-infinite SolvePuzzle search. Difficulty must saturate at the
+// clamp instead, and zero bits must always admit.
+func FuzzPuzzleSolved(f *testing.F) {
+	f.Add(uint32(0x0a000101), uint32(99991), uint(12))
+	f.Add(uint32(0xc0a80909), uint32(0), uint(0))
+	f.Add(uint32(0x0a000101), uint32(4242), uint(MaxPuzzleBits))
+	f.Add(uint32(0x0a000101), uint32(4242), uint(63))
+	f.Add(uint32(0x0a000101), uint32(4242), uint(64)) // the wrapped-mask regression
+	f.Add(uint32(0xffffffff), uint32(0xffffffff), uint(1)<<32)
+	f.Fuzz(func(t *testing.T, srcIP, seq uint32, bits uint) {
+		got := PuzzleSolved(srcIP, seq, bits)
+		if bits == 0 && !got {
+			t.Fatal("bits=0 must admit everything (gate disabled)")
+		}
+		if bits >= MaxPuzzleBits && got != PuzzleSolved(srcIP, seq, MaxPuzzleBits) {
+			t.Fatalf("bits=%d does not saturate at the MaxPuzzleBits clamp", bits)
+		}
+	})
+}
+
+// FuzzPuzzleRoundTrip checks solve/verify agreement from arbitrary
+// search starting points: whatever SolvePuzzle returns must pass
+// PuzzleSolved at the same difficulty. Difficulty is folded into
+// [0, 14] to bound the search at ~2^14 hashes per exec; the clamp path
+// above MaxPuzzleBits is FuzzPuzzleSolved's job.
+func FuzzPuzzleRoundTrip(f *testing.F) {
+	f.Add(uint32(0x0a000101), uint32(99991), byte(8))
+	f.Add(uint32(0xc0a80909), uint32(0), byte(0))
+	f.Add(uint32(0xffffffff), uint32(0xfffffff0), byte(14)) // search wraps the seq space
+	f.Fuzz(func(t *testing.T, srcIP, start uint32, rawBits byte) {
+		bits := uint(rawBits) % 15
+		seq := SolvePuzzle(srcIP, start, bits)
+		if !PuzzleSolved(srcIP, seq, bits) {
+			t.Fatalf("bits=%d: solved seq %d does not verify", bits, seq)
+		}
+		if bits == 0 && seq != start {
+			t.Fatalf("bits=0: search moved from %d to %d instead of accepting immediately",
+				start, seq)
+		}
+	})
+}

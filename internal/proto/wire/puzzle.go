@@ -16,11 +16,24 @@ import "repro/internal/lib"
 // simulated network check the same predicate over on-the-wire header
 // fields; it carries no server state.
 
+// MaxPuzzleBits caps the puzzle difficulty. Beyond ~24 bits a solution
+// search is minutes of real CPU — no deployment wants it — and a shift
+// count of 64+ would wrap the verification mask to all-ones (Go shifts
+// by ≥ the operand width yield zero), demanding h == 0: a puzzle that
+// admits nobody and sends SolvePuzzle into a near-infinite search.
+// Both PuzzleSolved and SolvePuzzle clamp here, so the two ends always
+// agree on the effective difficulty.
+const MaxPuzzleBits = 24
+
 // PuzzleSolved reports whether seq proves ~2^bits hash work for source
-// address srcIP. Zero bits means every SYN passes (the gate is off).
+// address srcIP. Zero bits means every SYN passes (the gate is off);
+// bits beyond MaxPuzzleBits are clamped to it.
 func PuzzleSolved(srcIP, seq uint32, bits uint) bool {
 	if bits == 0 {
 		return true
+	}
+	if bits > MaxPuzzleBits {
+		bits = MaxPuzzleBits
 	}
 	h := lib.Mix64(uint64(srcIP)<<32 | uint64(seq))
 	return h&(1<<bits-1) == 0

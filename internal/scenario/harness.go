@@ -27,24 +27,37 @@ type runOutcome struct {
 	falseKills   int
 	pathKills    uint64
 	csv          string
+	decisions    string // adaptive detector's decision log, "" otherwise
 }
 
-// Run executes the scenario twice — a fault-armed baseline without the
-// attack, then the attacked run — checks containment, and reports the
-// detection-quality metrics. Any violated invariant returns an error.
-func Run(s *Scenario) (*Result, error) {
-	base, err := runOnce(s, false)
+// Run executes the scenario under the static-threshold policy; see
+// RunPolicy for the adaptive variant and Compare for both side by side.
+func Run(s *Scenario) (*Result, error) { return RunPolicy(s, false) }
+
+// RunPolicy executes the scenario twice — a fault-armed baseline
+// without the attack, then the attacked run — checks containment, and
+// reports the detection-quality metrics. With adaptive set, the
+// anomaly detector is armed on top of the scenario's static defenses
+// and becomes the detection signal (first escalation = detected). Any
+// violated invariant returns an error.
+func RunPolicy(s *Scenario, adaptive bool) (*Result, error) {
+	base, err := runOnce(s, false, adaptive)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s (baseline): %w", s.Name, err)
 	}
-	atk, err := runOnce(s, true)
+	atk, err := runOnce(s, true, adaptive)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 
+	policy := "static"
+	if adaptive {
+		policy = "adaptive"
+	}
 	res := &Result{
 		Scenario:          s.Name,
 		Class:             s.Class,
+		Policy:            policy,
 		BaselineCompleted: base.completed,
 		AttackedCompleted: atk.completed,
 		PathKills:         atk.pathKills,
@@ -53,6 +66,7 @@ func Run(s *Scenario) (*Result, error) {
 		DetectSignal:      atk.signal,
 		FalseKills:        atk.falseKills,
 		CSV:               atk.csv,
+		Decisions:         atk.decisions,
 	}
 	clients := s.Clients
 	if clients > 0 {
@@ -77,13 +91,46 @@ func Run(s *Scenario) (*Result, error) {
 	return res, nil
 }
 
+// Compare runs the scenario under both policies and checks the
+// adaptive policy's regression bounds against the static one: it must
+// detect no later (time-to-detect is measured on the shared 10 ms
+// sample grid) and must kill no legitimate client.
+func Compare(s *Scenario) (static, adaptive *Result, err error) {
+	static, err = RunPolicy(s, false)
+	if err != nil {
+		return static, nil, err
+	}
+	adaptive, err = RunPolicy(s, true)
+	if err != nil {
+		return static, adaptive, err
+	}
+	if adaptive.TimeToDetectMs > static.TimeToDetectMs {
+		return static, adaptive, fmt.Errorf(
+			"scenario %s: adaptive time-to-detect %.0fms exceeds static %.0fms",
+			s.Name, adaptive.TimeToDetectMs, static.TimeToDetectMs)
+	}
+	if adaptive.FalseKills != 0 {
+		return static, adaptive, fmt.Errorf(
+			"scenario %s: adaptive policy killed %d legitimate clients",
+			s.Name, adaptive.FalseKills)
+	}
+	return static, adaptive, nil
+}
+
 // runOnce builds the testbed, runs warmup + window (with the attack
-// when hostile), and asserts the containment invariants.
-func runOnce(s *Scenario, hostile bool) (runOutcome, error) {
+// when hostile), and asserts the containment invariants. With adaptive
+// set the anomaly detector is armed on top of the scenario's spec.
+func runOnce(s *Scenario, hostile, adaptive bool) (runOutcome, error) {
 	var out runOutcome
 	sp, err := fault.ParseSpec(s.Faults)
 	if err != nil {
 		return out, fmt.Errorf("parse faults: %w", err)
+	}
+	if adaptive {
+		if sp == nil {
+			sp = &fault.Spec{Seed: 1}
+		}
+		sp.Detector = true
 	}
 	var csv bytes.Buffer
 	opts := experiment.Options{
@@ -120,9 +167,23 @@ func runOnce(s *Scenario, hostile bool) (runOutcome, error) {
 	before := tb.Escort.K.Ledger().Snapshot(tb.Eng.Now())
 	tb.RunFor(s.Warmup)
 
+	// Under the adaptive policy the detector's escalation count is the
+	// detection signal: the first rung taken against any source marks
+	// the attack as noticed.
+	detect, threshold := s.Detect, s.DetectThreshold
+	if adaptive {
+		detect = func(tb *experiment.Testbed) uint64 {
+			if tb.Escort.Detector == nil {
+				return 0
+			}
+			return tb.Escort.Detector.Escalations
+		}
+		threshold = 1
+	}
+
 	baseSignal := uint64(0)
-	if s.Detect != nil {
-		baseSignal = s.Detect(tb)
+	if detect != nil {
+		baseSignal = detect(tb)
 	}
 	baseCompleted := tb.TotalCompleted()
 	attackStart := tb.Eng.Now()
@@ -130,15 +191,16 @@ func runOnce(s *Scenario, hostile bool) (runOutcome, error) {
 	var attackers []workload.Attacker
 	if hostile {
 		attackers = s.Attack(tb)
-		if s.Detect != nil {
+		if detect != nil {
 			// Detection rides the 10 ms per-owner metrics cadence: the
 			// first sample where the signal clears the threshold marks
-			// time-to-detect.
+			// time-to-detect. (Detector escalations happen in a sampler
+			// subscriber, which runs before this hook on the same tick.)
 			tb.Escort.Obs.Metrics.OnSample = func(smp obs.Sample) {
 				if out.detected {
 					return
 				}
-				if s.Detect(tb)-baseSignal >= s.DetectThreshold {
+				if detect(tb)-baseSignal >= threshold {
 					out.detected = true
 					out.timeToDetect = smp.At - attackStart
 				}
@@ -148,8 +210,8 @@ func runOnce(s *Scenario, hostile bool) (runOutcome, error) {
 
 	tb.RunFor(s.Window)
 	out.completed = tb.TotalCompleted() - baseCompleted
-	if s.Detect != nil {
-		out.signal = s.Detect(tb) - baseSignal
+	if detect != nil {
+		out.signal = detect(tb) - baseSignal
 	}
 
 	// Teardown-quiescence contract: Stop cancels every attacker timer.
@@ -201,6 +263,10 @@ func runOnce(s *Scenario, hostile bool) (runOutcome, error) {
 				out.falseKills++
 			}
 		}
+	}
+
+	if det := tb.Escort.Detector; det != nil {
+		out.decisions = string(det.DecisionLog())
 	}
 
 	// Containment invariant 3: quiescence after Close.

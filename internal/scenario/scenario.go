@@ -84,6 +84,10 @@ type Scenario struct {
 type Result struct {
 	Scenario string `json:"scenario"`
 	Class    string `json:"class"`
+	// Policy names the defense policy the run was under: "static"
+	// (the scenario's fixed-threshold spec) or "adaptive" (the anomaly
+	// detector armed on top of it).
+	Policy string `json:"policy"`
 
 	// Containment facts.
 	BaselineCompleted uint64 `json:"baseline_completed"`
@@ -99,8 +103,11 @@ type Result struct {
 	GoodputRetained float64 `json:"goodput_retained"`
 
 	// CSV is the attacked run's per-owner metrics export — the
-	// byte-determinism witness.
-	CSV string `json:"-"`
+	// byte-determinism witness. Decisions is the adaptive detector's
+	// decision-log CSV (empty under the static policy): the determinism
+	// witness for the detector's demote/shed/kill choices.
+	CSV       string `json:"-"`
+	Decisions string `json:"-"`
 }
 
 // Attacker addressing: hostile stations live on the hub (the

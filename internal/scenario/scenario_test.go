@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/experiment"
@@ -29,17 +30,34 @@ func TestScenarioMatrix(t *testing.T) {
 	}
 }
 
+// TestCompareMatrix runs every scenario under both policies and
+// enforces the adaptive regression bounds: containment under both,
+// adaptive time-to-detect no later than static, zero false kills.
+func TestCompareMatrix(t *testing.T) {
+	for _, s := range All {
+		t.Run(s.Name, func(t *testing.T) {
+			st, ad, err := Compare(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: static ttd=%.0fms goodput=%.2f | adaptive ttd=%.0fms goodput=%.2f falseKills=%d",
+				s.Name, st.TimeToDetectMs, st.GoodputRetained,
+				ad.TimeToDetectMs, ad.GoodputRetained, ad.FalseKills)
+		})
+	}
+}
+
 // TestScenarioDeterminism reruns each scenario's attacked leg and
 // requires byte-identical metrics CSV and equal outcomes — the seeded
 // attack workloads must not perturb the simulation's determinism.
 func TestScenarioDeterminism(t *testing.T) {
 	for _, s := range All {
 		t.Run(s.Name, func(t *testing.T) {
-			a, err := runOnce(s, true)
+			a, err := runOnce(s, true, false)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := runOnce(s, true)
+			b, err := runOnce(s, true, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -59,20 +77,80 @@ func TestScenarioDeterminism(t *testing.T) {
 	}
 }
 
+// TestDetectorDecisionDeterminism is the adaptive policy's
+// byte-determinism witness: the detector's decision log (every
+// demote/shed/kill/box/forgive row, with cycle timestamps and feature
+// values) must be byte-identical across repeated same-seed runs, and a
+// sweep running all scenarios concurrently must reproduce the serial
+// logs exactly — the detector may not leak goroutine scheduling into
+// its decisions.
+func TestDetectorDecisionDeterminism(t *testing.T) {
+	serial := make(map[string]string, len(All))
+	for _, s := range All {
+		a, err := runOnce(s, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := runOnce(s, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.decisions == "" {
+			t.Fatalf("%s: empty decision log from an attacked adaptive run", s.Name)
+		}
+		if a.decisions != b.decisions {
+			t.Fatalf("%s: decision log diverged between identically-seeded runs:\n--- a ---\n%s--- b ---\n%s",
+				s.Name, a.decisions, b.decisions)
+		}
+		serial[s.Name] = a.decisions
+	}
+
+	var wg sync.WaitGroup
+	logs := make([]string, len(All))
+	errs := make([]error, len(All))
+	for i, s := range All {
+		wg.Add(1)
+		go func(i int, s *Scenario) {
+			defer wg.Done()
+			out, err := runOnce(s, true, true)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			logs[i] = out.decisions
+		}(i, s)
+	}
+	wg.Wait()
+	for i, s := range All {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if logs[i] != serial[s.Name] {
+			t.Errorf("%s: parallel-sweep decision log differs from the serial run", s.Name)
+		}
+	}
+}
+
 // TestScenariosSmoke is the CI soak target (make scenarios-smoke): the
-// attacked leg of every class under -race, detection asserted.
+// attacked leg of every class under -race, under both policies,
+// detection asserted.
 func TestScenariosSmoke(t *testing.T) {
 	for _, s := range All {
-		t.Run(s.Class, func(t *testing.T) {
-			out, err := runOnce(s, true)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !out.detected {
-				t.Fatalf("attack not detected (signal %d, threshold %d)",
-					out.signal, s.DetectThreshold)
-			}
-		})
+		for _, mode := range []struct {
+			name     string
+			adaptive bool
+		}{{"static", false}, {"adaptive", true}} {
+			t.Run(s.Class+"/"+mode.name, func(t *testing.T) {
+				out, err := runOnce(s, true, mode.adaptive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !out.detected {
+					t.Fatalf("attack not detected (signal %d, threshold %d)",
+						out.signal, s.DetectThreshold)
+				}
+			})
+		}
 	}
 }
 
